@@ -1,0 +1,25 @@
+.PHONY: install test bench examples reproduce clean
+
+install:
+	pip install -e '.[dev]' --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		python $$script || exit 1; \
+	done
+
+# The full paper reproduction with outputs captured at the repo root.
+reproduce:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache .benchmarks build *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,18 @@
+"""Helpers shared by the benchmark modules (not collected by pytest)."""
+
+from __future__ import annotations
+
+import os
+
+#: Entries per generated test corpus (paper corpora are ~10^6-10^7).
+CORPUS_SIZE = int(os.environ.get("REPRO_BENCH_CORPUS", 20_000))
+#: Entries in base dictionaries (paper: Rockyou/Tianya, ~3 * 10^7).
+BASE_SIZE = int(os.environ.get("REPRO_BENCH_BASE", 100_000))
+SEED = 0
+
+
+def emit(capsys, text: str) -> None:
+    """Print a result table through pytest's capture barrier."""
+    with capsys.disabled():
+        print()
+        print(text)

@@ -1,0 +1,87 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one paper table or figure and prints the same
+rows/series the paper reports (next to the published values where they
+are known).  Output is emitted through :func:`emit`, which bypasses
+pytest's capture so ``pytest benchmarks/ --benchmark-only`` shows the
+tables inline.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_CORPUS``  — entries per test corpus (default 20000);
+* ``REPRO_BENCH_BASE``    — entries in base dictionaries (default 100000).
+
+The paper's corpora are three orders of magnitude larger; the claims
+under reproduction are orderings and curve shapes, which are stable at
+this laptop scale (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.datasets.corpus import PasswordCorpus
+from repro.datasets.synthetic import SyntheticEcosystem
+from repro.experiments.runner import ExperimentConfig, run_scenario
+from repro.experiments.scenarios import Scenario
+
+from bench_lib import BASE_SIZE, CORPUS_SIZE, SEED
+
+
+@pytest.fixture(scope="session")
+def ecosystem() -> SyntheticEcosystem:
+    return SyntheticEcosystem(seed=SEED, population=100_000)
+
+
+@pytest.fixture(scope="session")
+def corpora(ecosystem) -> Dict[str, PasswordCorpus]:
+    """Lazily generated test corpora, cached for the whole bench run."""
+
+    class _Cache(dict):
+        def __missing__(self, name: str) -> PasswordCorpus:
+            size = BASE_SIZE if name in ("rockyou", "tianya") else CORPUS_SIZE
+            corpus = ecosystem.generate(name, total=size, seed=SEED)
+            self[name] = corpus
+            return corpus
+
+    return _Cache()
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        corpus_size=CORPUS_SIZE, base_corpus_size=BASE_SIZE, seed=SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def scenario_runner(ecosystem, experiment_config):
+    """Cached scenario execution shared by the Fig. 9/13 benches."""
+    cache: Dict[Tuple[str, str, int], object] = {}
+
+    def run(scenario: Scenario, metric=None, metric_name="kendall",
+            min_frequency=4):
+        key = (scenario.name, metric_name, min_frequency)
+        if key not in cache:
+            kwargs = dict(
+                ecosystem=ecosystem, config=experiment_config,
+                metric_name=metric_name, min_frequency=min_frequency,
+            )
+            if metric is not None:
+                kwargs["metric"] = metric
+            cache[key] = run_scenario(scenario, **kwargs)
+        return cache[key]
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def csdn_quarters(corpora):
+    """The paper's canonical CSDN 1/4-train + 1/4-test split (Sec. IV-A)."""
+    quarters = corpora["csdn"].split(
+        [0.25, 0.25, 0.25, 0.25], random.Random(SEED)
+    )
+    return quarters[0], quarters[3]

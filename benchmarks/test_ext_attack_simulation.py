@@ -1,0 +1,110 @@
+"""Extension — Table I's attacker taxonomy, simulated end to end.
+
+Table I bounds the online attacker at < 10^4 guesses (lockout) and
+the offline attacker at > 10^9 (hardware).  This bench runs both
+against the same victim corpus with fuzzyPSM's guess stream as the
+attack dictionary and checks the taxonomy's quantitative shape:
+
+* compromise rate grows monotonically with the lockout allowance;
+* the offline attacker strictly dominates the online one;
+* bcrypt-class slow hashing drags the offline budget back toward the
+  online regime (footnote 5).
+"""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    HASH_PROFILES,
+    LockoutPolicy,
+    OfflineAttack,
+    OnlineAttack,
+)
+from repro.core.meter import FuzzyPSM
+from repro.experiments.reporting import format_table
+
+from bench_lib import SEED, emit
+
+
+@pytest.fixture(scope="module")
+def setup(ecosystem, corpora):
+    corpus = corpora["yahoo"]
+    train, _, _, victims = corpus.split(
+        [0.25] * 4, random.Random(SEED)
+    )
+    attacker = FuzzyPSM.train(
+        base_dictionary=corpora["rockyou"].unique_passwords(),
+        training=list(train.items()),
+    )
+    return attacker, victims
+
+
+def test_ext_online_lockout_sweep(benchmark, setup, capsys):
+    attacker, victims = setup
+
+    def sweep():
+        outcomes = []
+        for attempts in (10, 100, 1_000, 10_000):
+            outcome = OnlineAttack(
+                LockoutPolicy(attempts_per_window=attempts)
+            ).run(attacker.iter_guesses(), victims)
+            outcomes.append(outcome)
+        return outcomes
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(capsys, format_table(
+        ["lockout allowance", "accounts compromised", "rate"],
+        [
+            [f"{o.guesses_per_account:,}",
+             f"{o.accounts_compromised:,}",
+             f"{o.compromise_rate:.2%}"]
+            for o in outcomes
+        ],
+        title="(extension) online trawling vs lockout allowance "
+              "(Table I: online budget < 10^4)",
+    ))
+    rates = [o.compromise_rate for o in outcomes]
+    assert rates == sorted(rates)
+    assert 0.0 < rates[0] < rates[-1] < 1.0
+
+
+def test_ext_offline_hash_sweep(benchmark, setup, capsys):
+    attacker, victims = setup
+
+    def sweep():
+        outcomes = {}
+        for name in ("md5", "bcrypt", "scrypt"):
+            outcomes[name] = OfflineAttack(
+                HASH_PROFILES[name], seconds=24 * 3600,
+                max_stream_guesses=150_000,
+            ).run(attacker.iter_guesses(), victims)
+        online = OnlineAttack(LockoutPolicy()).run(
+            attacker.iter_guesses(), victims
+        )
+        return outcomes, online
+
+    outcomes, online = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(capsys, format_table(
+        ["attack", "budget/account", "rate"],
+        [["online (lockout 100)",
+          f"{online.guesses_per_account:,}",
+          f"{online.compromise_rate:.2%}"]]
+        + [
+            [o.attack, f"{o.guesses_per_account:,}",
+             f"{o.compromise_rate:.2%}"]
+            for o in outcomes.values()
+        ],
+        title="(extension) offline trawling vs hash function "
+              "(Table I: offline budget > 10^9; footnote 5)",
+    ))
+    # Offline fast-hash dominates online.
+    assert outcomes["md5"].compromise_rate > online.compromise_rate
+    # Slow hashing shrinks the budget monotonically.
+    assert (
+        outcomes["md5"].guesses_per_account
+        >= outcomes["bcrypt"].guesses_per_account
+        >= outcomes["scrypt"].guesses_per_account
+    )
+    # scrypt drags offline close to the online regime.
+    assert outcomes["scrypt"].guesses_per_account < 10 ** 5

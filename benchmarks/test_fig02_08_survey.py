@@ -1,0 +1,94 @@
+"""Figs. 2-8 — the user-survey results (paper Sec. III).
+
+The survey aggregates are encoded data; the bench reproduces every
+headline number the paper's prose quotes and prints them next to the
+published values.
+"""
+
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.survey import analysis, data
+
+from bench_lib import emit
+
+#: (figure, quantity, published value, computed callable)
+HEADLINES = [
+    ("Fig 2", "reuse-or-modify rate", 0.7738,
+     analysis.figure2_reuse_rate),
+    ("Fig 2", "entirely-new rate", 0.1448,
+     lambda: data.CREATION_STRATEGY["create an entirely new password"]),
+    ("Fig 3", "at-least-similar rate", 0.8177,
+     analysis.figure3_similar_or_closer_rate),
+    ("Fig 4", "modify-for-security rate", 0.5100,
+     lambda: data.MODIFY_REASONS["increase security"]),
+    ("Fig 4", "modify-for-policy rate", 0.4276,
+     lambda: data.MODIFY_REASONS["fulfill password policies"]),
+    ("Fig 4", "modify-for-memorability rate", 0.3258,
+     lambda: data.MODIFY_REASONS["improve memorability"]),
+    ("Fig 8", "capitalize-first rate", 0.4796,
+     analysis.figure8_capitalize_first_rate),
+    ("Fig 8", "never-capitalize rate", 0.2262,
+     lambda: data.CAPITALIZATION_PLACEMENT["never use capitalization"]),
+]
+
+
+def test_fig02_08_survey_headlines(benchmark, capsys):
+    rows = benchmark(
+        lambda: [
+            [figure, quantity, f"{published:.2%}", f"{compute():.2%}"]
+            for figure, quantity, published, compute in HEADLINES
+        ]
+    )
+    emit(capsys, format_table(
+        ["Figure", "Quantity", "Paper", "Measured"],
+        rows,
+        title="Figs. 2-8 -- survey headline numbers",
+    ))
+    for (_, _, published, compute) in HEADLINES:
+        assert compute() == pytest.approx(published, abs=0.005)
+
+
+def test_fig05_07_orderings(benchmark, capsys):
+    """Bar orderings the paper states in prose (exact heights were
+    published only graphically)."""
+
+    def orderings():
+        rules = sorted(
+            data.TRANSFORMATION_RULES,
+            key=data.TRANSFORMATION_RULES.get, reverse=True,
+        )
+        digits = analysis.figure6_placement_order()
+        symbols = sorted(
+            data.SYMBOL_PLACEMENT, key=data.SYMBOL_PLACEMENT.get,
+            reverse=True,
+        )
+        return rules, digits, symbols
+
+    rules, digits, symbols = benchmark(orderings)
+    emit(capsys, format_table(
+        ["Figure", "Ordering (most popular first)"],
+        [
+            ["Fig 5", " > ".join(r.split(" ")[0] for r in rules)],
+            ["Fig 6", " > ".join(digits)],
+            ["Fig 7", " > ".join(symbols)],
+        ],
+        title="Figs. 5-7 -- orderings stated in the paper's prose",
+    ))
+    assert rules[0].startswith("concatenation")
+    assert rules[1].startswith("capitalization")
+    assert rules[2].startswith("leet")
+    assert digits == ["end", "middle", "beginning"]
+    assert symbols == ["end", "middle", "beginning"]
+
+
+def test_fig02_das_comparison(benchmark, capsys):
+    comparison = benchmark(analysis.compare_with_das)
+    emit(capsys, format_table(
+        ["Quantity", "Value"],
+        [[key, f"{value:+.2%}"] for key, value in comparison.items()],
+        title="Fig. 2 -- comparison with Das et al. (NDSS'14)",
+    ))
+    assert comparison["reuse_or_modify_chinese"] == pytest.approx(
+        comparison["reuse_or_modify_english"], abs=0.01
+    )

@@ -1,0 +1,61 @@
+"""Fig. 13(q)/(r) — cross-language training is ineffective.
+
+Sub-figure (q) measures Dodonew (Chinese) with English training
+material (Rockyou base + Phpbb); (r) measures Yahoo (English) with
+Chinese material (Tianya base + Weibo).  The paper's point: language
+mismatch visibly degrades the trained meters, so "PSMs originally
+designed for English users can be used for non-English users [only]
+if training sets are properly chosen".
+"""
+
+from repro.experiments.reporting import format_curves, format_ranking
+from repro.experiments.scenarios import scenario
+
+from bench_lib import emit
+
+CROSS_DODONEW = scenario("cross-dodonew")
+CROSS_YAHOO = scenario("cross-yahoo")
+MATCHED_DODONEW = scenario("real-dodonew")
+MATCHED_YAHOO = scenario("real-yahoo")
+
+LEARNED_METERS = ("fuzzyPSM", "PCFG", "Markov")
+
+
+def _learned_mean(result):
+    return sum(
+        result.curve(meter).mean for meter in LEARNED_METERS
+    ) / len(LEARNED_METERS)
+
+
+def test_fig13q_dodonew_cross_language(benchmark, scenario_runner,
+                                       capsys):
+    result = benchmark.pedantic(
+        lambda: scenario_runner(CROSS_DODONEW), rounds=1, iterations=1
+    )
+    emit(capsys, format_curves(result))
+    emit(capsys, "Fig 13(q) ranking: " + format_ranking(result))
+    matched = scenario_runner(MATCHED_DODONEW)
+    emit(
+        capsys,
+        "Fig 13(q) learned-meter mean tau: "
+        f"cross-language {_learned_mean(result):+.3f} vs "
+        f"matched-language {_learned_mean(matched):+.3f}",
+    )
+    # Cross-language training degrades the learned meters.
+    assert _learned_mean(result) < _learned_mean(matched)
+
+
+def test_fig13r_yahoo_cross_language(benchmark, scenario_runner, capsys):
+    result = benchmark.pedantic(
+        lambda: scenario_runner(CROSS_YAHOO), rounds=1, iterations=1
+    )
+    emit(capsys, format_curves(result))
+    emit(capsys, "Fig 13(r) ranking: " + format_ranking(result))
+    matched = scenario_runner(MATCHED_YAHOO)
+    emit(
+        capsys,
+        "Fig 13(r) learned-meter mean tau: "
+        f"cross-language {_learned_mean(result):+.3f} vs "
+        f"matched-language {_learned_mean(matched):+.3f}",
+    )
+    assert _learned_mean(result) < _learned_mean(matched)

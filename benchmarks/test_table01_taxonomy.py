@@ -1,0 +1,38 @@
+"""Table I — the guessing-attack taxonomy (paper Sec. II-A).
+
+Static content; the bench prints the table and times the (trivial)
+construction so the harness covers every numbered artefact.
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.taxonomy import GUESSING_ATTACKS
+
+from bench_lib import emit
+
+
+def _rows():
+    return [
+        [
+            attack.family,
+            attack.channel,
+            "Yes" if attack.uses_personal_data else "No",
+            "Yes" if attack.interacts_with_server else "No",
+            attack.major_constraint,
+            attack.guess_budget,
+            "Yes" if attack.considered_in_paper else "No",
+        ]
+        for attack in GUESSING_ATTACKS
+    ]
+
+
+def test_table01_taxonomy(benchmark, capsys):
+    rows = benchmark(_rows)
+    emit(capsys, format_table(
+        ["Family", "Channel", "Personal data", "Server",
+         "Major constraint", "Guesses", "Considered"],
+        rows,
+        title="Table I -- comparison of different guessing attacks",
+    ))
+    assert len(rows) == 4
+    considered = [row for row in rows if row[-1] == "Yes"]
+    assert all(row[0] == "Trawling" for row in considered)

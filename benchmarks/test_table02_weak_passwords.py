@@ -1,0 +1,151 @@
+"""Table II — guess numbers given by each PSM for typical weak passwords.
+
+The paper trains on 1/4 of CSDN and asks each meter for the guess
+number of six notoriously weak passwords, comparing against the ideal
+meter (their rank in the distribution).  Real CSDN contains those
+exact strings; our synthetic CSDN has its own head, so the bench
+measures (a) the paper's six literal passwords where derivable and
+(b) six weak passwords drawn from the synthetic corpus at comparable
+ranks — the quantity under test (closeness to the ideal guess number
+on weak passwords) is rank-relative, not string-specific.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.meter import FuzzyPSM
+from repro.experiments.reporting import format_table
+from repro.experiments.weak_passwords import (
+    TYPICAL_WEAK_PASSWORDS,
+    weak_password_table,
+)
+from repro.meters.markov import MarkovMeter
+from repro.meters.pcfg import PCFGMeter
+
+from bench_lib import SEED, emit
+
+#: Ranks mirroring the spread of the paper's six examples
+#: (18 .. 27097 in real CSDN, scaled to the bench corpus).
+PROBE_RANKS = (1, 3, 10, 30, 100, 300)
+
+
+@pytest.fixture(scope="module")
+def meters(corpora, csdn_quarters):
+    train, _ = csdn_quarters
+    items = list(train.items())
+    return [
+        FuzzyPSM.train(
+            base_dictionary=corpora["tianya"].unique_passwords(),
+            training=items,
+        ),
+        PCFGMeter.train(items),
+        MarkovMeter.train(items, order=3),
+    ]
+
+
+def _format(value: float) -> str:
+    if not math.isfinite(value):
+        return "inf"
+    return f"{value:,.0f}"
+
+
+def test_table02_weak_passwords(benchmark, meters, csdn_quarters, capsys):
+    train, _ = csdn_quarters
+    ranked = [pw for pw, _ in train.most_common()]
+    # The paper's six probes are all alphanumeric dictionary-style
+    # strings; pick the first such password at or after each rank.
+    probes = []
+    for rank in PROBE_RANKS:
+        for password in ranked[rank - 1:]:
+            if password.isalnum() and password not in probes:
+                probes.append(password)
+                break
+
+    rows = benchmark.pedantic(
+        lambda: weak_password_table(
+            meters, train, passwords=probes, sample_size=20_000,
+            seed=SEED,
+        ),
+        rounds=1, iterations=1,
+    )
+    meter_names = [meter.name for meter in meters]
+    emit(capsys, format_table(
+        ["password", "train rank", "Ideal"] + meter_names + ["closest"],
+        [
+            [row.password, row.training_rank,
+             _format(row.guess_numbers["Ideal"])]
+            + [_format(row.guess_numbers[name]) for name in meter_names]
+            + [row.closest_meter() or "-"]
+            for row in rows
+        ],
+        title=(
+            "Table II -- guess numbers for weak passwords "
+            "(synthetic-CSDN probes at the paper's rank spread)"
+        ),
+    ))
+    # The paper's takeaway: fuzzyPSM gives the most accurate strength
+    # estimates overall.  Aggregate per meter: mean |log10(model) -
+    # log10(ideal)| over the probes; fuzzyPSM must place top-2 and win
+    # at least one row outright.
+    def mean_log_error(name):
+        errors = []
+        for row in rows:
+            ideal = row.guess_numbers["Ideal"]
+            model = row.guess_numbers[name]
+            if math.isfinite(ideal) and math.isfinite(model) and model > 0:
+                errors.append(
+                    abs(math.log10(model) - math.log10(ideal))
+                )
+        return sum(errors) / len(errors)
+
+    accuracy = {name: mean_log_error(name) for name in meter_names}
+    emit(capsys, format_table(
+        ["meter", "mean |log10 error|"],
+        [[name, f"{value:.3f}"] for name, value in accuracy.items()],
+        title="Table II -- aggregate accuracy on the weak probes",
+    ))
+    ordered = sorted(accuracy, key=accuracy.get)
+    assert "fuzzyPSM" in ordered[:2], accuracy
+    closest = [row.closest_meter() for row in rows]
+    assert closest.count("fuzzyPSM") >= 1
+
+    # All meters give small guess numbers to the corpus head.
+    head = rows[0]
+    for name in meter_names:
+        assert head.guess_numbers[name] < 1_000, (
+            name, head.guess_numbers[name]
+        )
+
+
+def test_table02_paper_literal_passwords(benchmark, meters, capsys):
+    """The paper's six literal strings, for reference.  Derivability
+    depends on the synthetic corpus content, so only sanity ordering
+    is asserted: p@ssw0rd (a leet variant) never measures weaker than
+    password."""
+
+    def measure():
+        table = {}
+        for password in TYPICAL_WEAK_PASSWORDS:
+            table[password] = {
+                meter.name: meter.probability(password)
+                for meter in meters
+            }
+        return table
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(capsys, format_table(
+        ["password"] + [m.name for m in meters],
+        [
+            [password] + [f"{values[m.name]:.2e}" for m in meters]
+            for password, values in table.items()
+        ],
+        title="Table II -- the paper's literal passwords, "
+              "measured probabilities (synthetic training)",
+    ))
+    for meter in meters:
+        assert (
+            table["p@ssw0rd"][meter.name]
+            <= table["password"][meter.name] + 1e-18
+        )

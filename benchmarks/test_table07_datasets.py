@@ -1,0 +1,57 @@
+"""Table VII — basic info about the eleven password datasets.
+
+Prints the published unique/total counts next to the synthetic
+corpora's (scaled) counts and checks the metadata and the scaling
+invariants the generator must preserve.
+"""
+
+import pytest
+
+from repro.datasets.profiles import DATASET_ORDER, PROFILES
+from repro.datasets.stats import summary_row
+from repro.experiments.reporting import format_table
+
+from bench_lib import CORPUS_SIZE, emit
+
+
+def test_table07_datasets(benchmark, corpora, capsys):
+    def rows():
+        out = []
+        for name in DATASET_ORDER:
+            profile = PROFILES[name]
+            corpus = corpora[name]
+            out.append([
+                name, profile.service, profile.location,
+                profile.language,
+                f"{profile.unique_passwords:,}",
+                f"{profile.total_passwords:,}",
+                f"{corpus.unique:,}", f"{corpus.total:,}",
+            ])
+        return out
+
+    table = benchmark.pedantic(rows, rounds=1, iterations=1)
+    emit(capsys, format_table(
+        ["Dataset", "Service", "Location", "Language",
+         "Paper unique", "Paper total", "Synth unique", "Synth total"],
+        table,
+        title="Table VII -- the eleven password datasets "
+              "(paper scale vs bench scale)",
+    ))
+    for name in DATASET_ORDER:
+        profile = PROFILES[name]
+        corpus = corpora[name]
+        assert corpus.service == profile.service
+        assert corpus.language == profile.language
+        # Duplication factor (total/unique) within 2x of the paper's.
+        synthetic = corpus.total / corpus.unique
+        published = profile.duplication_factor
+        assert synthetic == pytest.approx(published, rel=1.0), name
+
+
+def test_table07_total_volume(benchmark, capsys):
+    total = benchmark(
+        lambda: sum(p.total_passwords for p in PROFILES.values())
+    )
+    emit(capsys, f"Table VII -- total corpus volume: {total:,} "
+                 "(paper: 97.43 million)")
+    assert total == pytest.approx(97.4e6, rel=0.01)

@@ -1,0 +1,86 @@
+"""Table IX — character-composition classes per dataset.
+
+The synthetic corpora are calibrated to the published composition
+fractions; the bench prints paper-vs-measured for the four headline
+columns and checks the direction of every cross-language contrast the
+paper draws.
+"""
+
+import pytest
+
+from repro.datasets.profiles import DATASET_ORDER, PROFILES
+from repro.datasets.stats import composition_table
+from repro.experiments.reporting import format_percent, format_table
+
+from bench_lib import emit
+
+HEADLINE_COLUMNS = ("^[a-z]+$", "^[0-9]+$", "^[a-zA-Z0-9]+$",
+                    "^[a-zA-Z]+[0-9]+$")
+
+
+def test_table09_composition(benchmark, corpora, capsys):
+    def compute():
+        return {
+            name: composition_table(corpora[name])
+            for name in DATASET_ORDER
+        }
+
+    measured = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for name in DATASET_ORDER:
+        profile = PROFILES[name]
+        row = [name]
+        for column in HEADLINE_COLUMNS:
+            row.append(
+                f"{format_percent(profile.composition[column], 1)}"
+                f" / {format_percent(measured[name][column], 1)}"
+            )
+        rows.append(row)
+    emit(capsys, format_table(
+        ["Dataset"] + [f"{col} (paper/synth)" for col in HEADLINE_COLUMNS],
+        rows,
+        title="Table IX -- character composition, paper vs synthetic",
+    ))
+    for name in DATASET_ORDER:
+        profile = PROFILES[name]
+        for column in ("^[a-z]+$", "^[0-9]+$"):
+            assert measured[name][column] == pytest.approx(
+                profile.composition[column], abs=0.15
+            ), (name, column)
+
+
+def test_table09_language_contrast(benchmark, corpora, capsys):
+    """Sec. V-B: 'a larger fraction of English passwords are composed
+    of only lower-case letters, while a similar fraction of Chinese
+    passwords are composed of only digits'."""
+
+    def contrast():
+        lower = {}
+        digits = {}
+        for name in DATASET_ORDER:
+            table = composition_table(corpora[name])
+            lower[name] = table["^[a-z]+$"]
+            digits[name] = table["^[0-9]+$"]
+        return lower, digits
+
+    lower, digits = benchmark.pedantic(contrast, rounds=1, iterations=1)
+    chinese = [n for n in DATASET_ORDER
+               if PROFILES[n].language == "Chinese"]
+    english = [n for n in DATASET_ORDER
+               if PROFILES[n].language == "English"]
+    rows = [
+        ["Chinese mean",
+         format_percent(sum(lower[n] for n in chinese) / len(chinese)),
+         format_percent(sum(digits[n] for n in chinese) / len(chinese))],
+        ["English mean",
+         format_percent(sum(lower[n] for n in english) / len(english)),
+         format_percent(sum(digits[n] for n in english) / len(english))],
+    ]
+    emit(capsys, format_table(
+        ["Group", "lower-only", "digit-only"], rows,
+        title="Table IX -- the cross-language contrast",
+    ))
+    for name in chinese:
+        assert digits[name] > lower[name], name
+    for name in english:
+        assert lower[name] > digits[name], name

@@ -1,0 +1,83 @@
+"""Table X — length distribution of user-chosen passwords.
+
+Prints paper-vs-synthetic length buckets and checks the paper's three
+callouts: most passwords are 6-10 characters, CSDN's length >= 8
+policy, and Singles.org's <= 8 cap.
+"""
+
+import pytest
+
+from repro.datasets.profiles import DATASET_ORDER, LENGTH_BUCKETS, PROFILES
+from repro.datasets.stats import length_table
+from repro.experiments.reporting import format_percent, format_table
+
+from bench_lib import emit
+
+
+def test_table10_lengths(benchmark, corpora, capsys):
+    def compute():
+        return {
+            name: length_table(corpora[name]) for name in DATASET_ORDER
+        }
+
+    measured = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for name in DATASET_ORDER:
+        profile = PROFILES[name]
+        six_to_ten_paper = sum(
+            profile.length_distribution[bucket]
+            for bucket in ("6", "7", "8", "9", "10")
+        )
+        six_to_ten_synth = sum(
+            measured[name][bucket] for bucket in ("6", "7", "8", "9", "10")
+        )
+        rows.append([
+            name,
+            format_percent(six_to_ten_paper),
+            format_percent(six_to_ten_synth),
+        ])
+    emit(capsys, format_table(
+        ["Dataset", "len 6-10 (paper)", "len 6-10 (synth)"],
+        rows,
+        title="Table X -- mass of the 6-10 length band",
+    ))
+    for name in DATASET_ORDER:
+        # "Most passwords are of length 6-10" holds for every corpus.
+        six_to_ten = sum(
+            measured[name][bucket] for bucket in ("6", "7", "8", "9", "10")
+        )
+        assert six_to_ten > 0.5, name
+        assert sum(measured[name].values()) == pytest.approx(1.0)
+
+
+def test_table10_policy_callouts(benchmark, corpora, capsys):
+    def compute():
+        return (
+            length_table(corpora["csdn"]),
+            length_table(corpora["singles"]),
+            length_table(corpora["battlefield"]),
+        )
+
+    csdn, singles, battlefield = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    emit(capsys, format_table(
+        ["bucket", "csdn", "singles", "battlefield"],
+        [
+            [bucket, format_percent(csdn[bucket]),
+             format_percent(singles[bucket]),
+             format_percent(battlefield[bucket])]
+            for bucket in LENGTH_BUCKETS
+        ],
+        title="Table X -- policy effects (CSDN >= 8, Singles <= 8, "
+              "Battlefield >= 6)",
+    ))
+    # CSDN's length >= 8 policy.
+    assert csdn["1-5"] + csdn["6"] + csdn["7"] < 0.01
+    # Singles rejects length >= 9.
+    assert sum(
+        singles[bucket]
+        for bucket in ("9", "10", "11", "12", "13", "14", "15+")
+    ) == 0.0
+    # Battlefield's length >= 6 policy.
+    assert battlefield["1-5"] < 0.01

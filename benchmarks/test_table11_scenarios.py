@@ -1,0 +1,40 @@
+"""Table XI — the training-and-testing scenario matrix.
+
+Static content; the bench prints the matrix and checks its shape
+against the paper's description (9 ideal, 7 real, 2 cross-language
+experiments; Rockyou/Tianya as base dictionaries; Phpbb/Weibo as
+real-case training leaks).
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import (
+    ALL_SCENARIOS,
+    CROSS_LANGUAGE_SCENARIOS,
+    IDEAL_SCENARIOS,
+    REAL_SCENARIOS,
+)
+
+from bench_lib import emit
+
+
+def test_table11_scenarios(benchmark, capsys):
+    rows = benchmark(
+        lambda: [
+            [s.figure, s.name, s.kind, s.base_dataset,
+             s.train_dataset or "1/4 of test set", s.test_dataset]
+            for s in ALL_SCENARIOS
+        ]
+    )
+    emit(capsys, format_table(
+        ["Figure", "Scenario", "Kind", "Base dict",
+         "Training leak", "Test set"],
+        rows,
+        title="Table XI -- training and testing scenarios",
+    ))
+    assert len(IDEAL_SCENARIOS) == 9
+    assert len(REAL_SCENARIOS) == 7
+    assert len(CROSS_LANGUAGE_SCENARIOS) == 2
+    bases = {s.base_dataset for s in ALL_SCENARIOS}
+    assert bases == {"rockyou", "tianya"}
+    real_leaks = {s.train_dataset for s in REAL_SCENARIOS}
+    assert real_leaks == {"phpbb", "weibo"}

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Attack surface — Table I of the paper, executed.
+
+Simulates the taxonomy's two trawling attackers against the same
+service, with fuzzyPSM's guess stream as the attack dictionary:
+
+* online  — NIST-style lockout (100 attempts/window), so only the
+  distribution head is reachable;
+* offline — hash-file attacks under different hash functions and
+  salting, showing why footnote 5 recommends bcrypt/scrypt.
+
+Run:  python examples/attack_surface.py
+"""
+
+import random
+
+from repro import FuzzyPSM, SyntheticEcosystem
+from repro.attacks import (
+    HASH_PROFILES,
+    LockoutPolicy,
+    OfflineAttack,
+    OnlineAttack,
+)
+
+ecosystem = SyntheticEcosystem(seed=9)
+base = ecosystem.generate("rockyou", total=40_000)
+corpus = ecosystem.generate("yahoo", total=12_000)
+train, _, _, victims = corpus.split([0.25] * 4, random.Random(0))
+
+attacker = FuzzyPSM.train(
+    base_dictionary=base.unique_passwords(),
+    training=list(train.items()),
+)
+
+print(f"victim service: {victims.total:,} accounts "
+      f"({victims.unique:,} distinct passwords)")
+print("attacker model: fuzzyPSM trained on a similar-service leak\n")
+
+# --- online: the lockout policy is the defence -------------------------
+print("ONLINE (server-mediated, detection & lockout active)")
+for attempts in (10, 100, 1_000):
+    policy = LockoutPolicy(attempts_per_window=attempts)
+    outcome = OnlineAttack(policy).run(
+        attacker.iter_guesses(), victims
+    )
+    print(f"  {outcome.summary()}")
+
+# --- offline: the hash function is the defence --------------------------
+# Simulation horizon capped at 200k stream guesses to stay interactive;
+# the per-account hash budgets still order the hash functions.
+print("\nOFFLINE (hash file stolen, 24h on one GPU, salted)")
+for name in ("plaintext", "md5", "bcrypt", "scrypt"):
+    attack = OfflineAttack(HASH_PROFILES[name], seconds=24 * 3600,
+                           max_stream_guesses=200_000)
+    outcome = attack.run(attacker.iter_guesses(), victims)
+    print(f"  {outcome.summary()}")
+
+print("\nreading: lockout caps the online attacker at the distribution")
+print("head — exactly the passwords a PSM must flag as weak — while a")
+print("fast unsalted hash hands the offline attacker the deep tail.")
+print("Slow salted hashes (bcrypt/scrypt) drag the offline budget back")
+print("toward online scale (paper Sec. II-A, footnote 5).")

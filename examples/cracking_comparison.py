@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Cracking comparison — probabilistic meters as guessing attackers.
+
+Probabilistic meters "are essentially password cracking tools" (paper
+footnote 6).  This example turns fuzzyPSM, PCFG and Markov into
+attackers against a held-out test set and reproduces the paper's
+Sec. IV-B analysis in miniature:
+
+* cracking curves (fraction of accounts recovered vs guesses tried);
+* un-usable guess counts (Table III's quantity);
+* the PCFG-measures-better / Markov-cracks-better reconciliation.
+
+Run:  python examples/cracking_comparison.py
+"""
+
+import random
+
+from repro import FuzzyPSM, MarkovMeter, PCFGMeter, SyntheticEcosystem
+from repro.metrics.cracking import cracking_curve
+from repro.metrics.unusable import count_unusable_guesses
+
+HORIZONS = [100, 1_000, 10_000, 50_000]
+
+ecosystem = SyntheticEcosystem(seed=3)
+corpus = ecosystem.generate("csdn", total=16_000)
+train, _, _, test = corpus.split([0.25] * 4, random.Random(0))
+base = ecosystem.generate("tianya", total=60_000)
+
+print(f"training on {train.total:,} CSDN entries, "
+      f"attacking {test.total:,} held-out entries\n")
+
+attackers = [
+    FuzzyPSM.train(base_dictionary=base.unique_passwords(),
+                   training=list(train.items())),
+    PCFGMeter.train(train.items()),
+    MarkovMeter.train(train.items(), order=3),
+]
+
+print("cracking curves (fraction of test accounts recovered):")
+header = "  " + "guesses".ljust(10) + "".join(
+    meter.name.rjust(10) for meter in attackers
+)
+print(header)
+curves = {
+    meter.name: cracking_curve(meter.iter_guesses(), test, HORIZONS)
+    for meter in attackers
+}
+for index, horizon in enumerate(HORIZONS):
+    row = f"  {horizon:<10,}"
+    for meter in attackers:
+        row += f"{curves[meter.name][index].cracked_fraction:10.1%}"
+    print(row)
+
+print("\nun-usable guesses (produced but absent from the test set):")
+print("  " + "guesses".ljust(10) + "".join(
+    meter.name.rjust(10) for meter in attackers
+))
+unusable = {
+    meter.name: count_unusable_guesses(
+        meter.iter_guesses(), test.unique_passwords(), HORIZONS
+    )
+    for meter in attackers
+}
+for horizon in HORIZONS:
+    row = f"  {horizon:<10,}"
+    for meter in attackers:
+        row += f"{unusable[meter.name][horizon]:10,}"
+    print(row)
+
+print(
+    "\nreading: structure-based models (fuzzyPSM, PCFG) waste fewer\n"
+    "early guesses — why they measure weak passwords accurately —\n"
+    "while the smoothed Markov model keeps generating novel guesses\n"
+    "and catches up at large horizons — why it cracks well (paper\n"
+    "Sec. IV-B, Table III)."
+)

@@ -1,0 +1,91 @@
+"""fuzzyPSM — fuzzy-PCFG password strength metering (DSN 2016 repro).
+
+Quick start::
+
+    from repro import FuzzyPSM
+
+    meter = FuzzyPSM.train(
+        base_dictionary=["password", "123456", "iloveyou"],
+        training=["password123", "Password1", "p@ssw0rd"],
+    )
+    meter.probability("P@ssword123")   # higher = weaker
+    meter.accept("newuserpassword1")   # adaptive update phase
+
+The package layout follows the paper:
+
+* :mod:`repro.core` — fuzzyPSM itself (trie, fuzzy grammar, parser,
+  training, meter);
+* :mod:`repro.meters` — the five comparison meters plus the
+  practically-ideal meter;
+* :mod:`repro.metrics` — rank correlations and guess numbers;
+* :mod:`repro.datasets` — corpora: containers, loaders, published
+  profiles and the survey-grounded synthetic generator;
+* :mod:`repro.survey` — the paper's user-survey aggregates;
+* :mod:`repro.experiments` — the Table-XI scenario harness.
+"""
+
+from repro.core import (
+    BucketScale,
+    BucketedMeter,
+    FuzzyGrammar,
+    FuzzyPSM,
+    FuzzyPSMConfig,
+    PasswordPolicy,
+    PrefixTrie,
+    calibrate_scale,
+    suggest_stronger,
+)
+from repro.meters import (
+    Meter,
+    ProbabilisticMeter,
+    IdealMeter,
+    PCFGMeter,
+    MarkovMeter,
+    Smoothing,
+    ZxcvbnMeter,
+    KeePSMMeter,
+    NISTMeter,
+)
+from repro.datasets import (
+    PasswordCorpus,
+    SyntheticEcosystem,
+    generate_corpus,
+    load_corpus,
+    save_corpus,
+)
+from repro.metrics import spearman_rho, kendall_tau, MonteCarloEstimator
+from repro.persistence import load_meter, save_meter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FuzzyPSM",
+    "FuzzyPSMConfig",
+    "FuzzyGrammar",
+    "PrefixTrie",
+    "Meter",
+    "ProbabilisticMeter",
+    "IdealMeter",
+    "PCFGMeter",
+    "MarkovMeter",
+    "Smoothing",
+    "ZxcvbnMeter",
+    "KeePSMMeter",
+    "NISTMeter",
+    "PasswordCorpus",
+    "SyntheticEcosystem",
+    "generate_corpus",
+    "load_corpus",
+    "save_corpus",
+    "spearman_rho",
+    "kendall_tau",
+    "MonteCarloEstimator",
+    "BucketScale",
+    "BucketedMeter",
+    "calibrate_scale",
+    "PasswordPolicy",
+    "suggest_stronger",
+    "save_meter",
+    "load_meter",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Trawling guessing-attack simulation (paper Sec. II-A, Table I).
+
+* :mod:`~repro.attacks.simulator` — online (lockout-limited) and
+  offline (hash-rate-limited) trawling attacks against a corpus of
+  accounts, driven by any guess stream.
+"""
+
+from repro.attacks.simulator import (
+    AttackOutcome,
+    HashFunctionProfile,
+    LockoutPolicy,
+    OfflineAttack,
+    OnlineAttack,
+    HASH_PROFILES,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "HashFunctionProfile",
+    "LockoutPolicy",
+    "OfflineAttack",
+    "OnlineAttack",
+    "HASH_PROFILES",
+]

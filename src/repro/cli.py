@@ -1,0 +1,414 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands cover the full paper workflow:
+
+* ``survey``      — print the user-survey headline numbers (Figs. 2-8);
+* ``generate``    — synthesise a calibrated corpus to a file;
+* ``stats``       — Tables VIII-X statistics for a corpus file;
+* ``train``       — train fuzzyPSM / PCFG / Markov and save the model;
+* ``measure``     — measure passwords with a saved model;
+* ``guess``       — emit a model's top guesses (cracking mode);
+* ``scenarios``   — list the Table-XI experiment matrix;
+* ``experiment``  — run one scenario and print its Fig.-13 curves;
+* ``coach``       — suggest stronger variants of a weak password;
+* ``attack``      — simulate Table I's online/offline attackers;
+* ``profile``     — partial-guessing profile of a corpus file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.meter import FuzzyPSM
+from repro.datasets.loaders import load_corpus, save_corpus
+from repro.datasets.profiles import DATASET_ORDER
+from repro.datasets.stats import (
+    composition_table,
+    length_table,
+    summary_row,
+    top_k_table,
+)
+from repro.datasets.synthetic import SyntheticEcosystem
+from repro.experiments.reporting import (
+    format_curves,
+    format_percent,
+    format_ranking,
+    format_table,
+)
+from repro.experiments.runner import ExperimentConfig, run_scenario
+from repro.experiments.scenarios import ALL_SCENARIOS, scenario
+from repro.meters.markov import MarkovMeter, Smoothing
+from repro.meters.pcfg import PCFGMeter
+from repro.persistence import load_meter, save_meter
+from repro.survey.analysis import survey_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="fuzzyPSM (DSN 2016) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("survey", help="print survey headline numbers")
+
+    generate = commands.add_parser(
+        "generate", help="synthesise a calibrated corpus"
+    )
+    generate.add_argument("dataset", choices=list(DATASET_ORDER))
+    generate.add_argument("--total", type=int, default=20_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", "-o", required=True)
+    generate.add_argument(
+        "--format", choices=("plain", "counted"), default="counted"
+    )
+
+    stats = commands.add_parser(
+        "stats", help="corpus statistics (Tables VIII-X)"
+    )
+    stats.add_argument("corpus", help="corpus file (plain or counted)")
+    stats.add_argument("--top", type=int, default=10)
+
+    train = commands.add_parser("train", help="train and save a meter")
+    train.add_argument("--training", required=True,
+                       help="training corpus file")
+    train.add_argument("--base",
+                       help="base dictionary corpus file (fuzzyPSM only)")
+    train.add_argument("--kind", choices=("fuzzypsm", "pcfg", "markov"),
+                       default="fuzzypsm")
+    train.add_argument("--order", type=int, default=3,
+                       help="Markov order")
+    train.add_argument(
+        "--smoothing", default="backoff",
+        choices=[s.value for s in Smoothing],
+    )
+    train.add_argument(
+        "--allow-reverse", action="store_true",
+        help="enable the reverse rule (paper future work; fuzzyPSM)",
+    )
+    train.add_argument(
+        "--allow-allcaps", action="store_true",
+        help="enable whole-word capitalization (fuzzyPSM)",
+    )
+    train.add_argument("--output", "-o", required=True)
+
+    measure = commands.add_parser(
+        "measure", help="measure passwords with a saved model"
+    )
+    measure.add_argument("--model", required=True)
+    measure.add_argument("passwords", nargs="*",
+                         help="passwords (stdin lines when omitted)")
+
+    guess = commands.add_parser(
+        "guess", help="emit a model's top guesses"
+    )
+    guess.add_argument("--model", required=True)
+    guess.add_argument("--count", "-n", type=int, default=100)
+
+    commands.add_parser("scenarios", help="list the Table-XI matrix")
+
+    experiment = commands.add_parser(
+        "experiment", help="run one Table-XI scenario"
+    )
+    experiment.add_argument(
+        "scenario", help="scenario name, e.g. ideal-csdn"
+    )
+    experiment.add_argument("--corpus-size", type=int, default=20_000)
+    experiment.add_argument("--base-corpus-size", type=int,
+                            default=120_000)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--min-frequency", type=int, default=4)
+    experiment.add_argument(
+        "--seeds",
+        help="comma-separated seeds for a robustness sweep "
+             "(overrides --seed; prints mean rank +/- std per meter)",
+    )
+
+    coach = commands.add_parser(
+        "coach", help="suggest stronger variants of weak passwords"
+    )
+    coach.add_argument("--model", required=True,
+                       help="trained meter (from `repro train`)")
+    coach.add_argument("--target-bits", type=float, default=20.0)
+    coach.add_argument("--max-suggestions", type=int, default=3)
+    coach.add_argument("passwords", nargs="+")
+
+    attack = commands.add_parser(
+        "attack", help="simulate Table I's trawling attackers"
+    )
+    attack.add_argument("--model", required=True,
+                        help="trained meter used as the guess stream")
+    attack.add_argument("--victims", required=True,
+                        help="corpus file of victim accounts")
+    attack.add_argument("--lockout", type=int, default=100,
+                        help="online attempts allowed per account")
+    attack.add_argument("--hash", dest="hash_name", default="sha256",
+                        choices=("plaintext", "md5", "sha256",
+                                 "bcrypt", "scrypt"))
+    attack.add_argument("--hours", type=float, default=24.0)
+    attack.add_argument("--max-guesses", type=int, default=200_000,
+                        help="offline simulation horizon cap")
+
+    profile = commands.add_parser(
+        "profile", help="partial-guessing profile of a corpus"
+    )
+    profile.add_argument("corpus", help="corpus file (plain or counted)")
+    profile.add_argument("--online-budget", type=int, default=1_000)
+
+    return parser
+
+
+# --- command handlers -------------------------------------------------------
+
+
+def _cmd_survey(_args: argparse.Namespace) -> int:
+    for line in survey_report():
+        print(line)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    ecosystem = SyntheticEcosystem(seed=args.seed)
+    corpus = ecosystem.generate(args.dataset, total=args.total,
+                                seed=args.seed)
+    save_corpus(corpus, args.output, fmt=args.format)
+    print(
+        f"wrote {corpus.total} entries ({corpus.unique} unique) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus)
+    row = summary_row(corpus)
+    print(f"dataset: {row['dataset']}  unique: {row['unique']}  "
+          f"total: {row['total']}")
+    table, share = top_k_table(corpus, k=args.top)
+    print()
+    print(format_table(
+        ["rank", "password", "count"],
+        [[rank, pw, count]
+         for rank, (pw, count) in enumerate(table, start=1)],
+        title=f"Top-{args.top} passwords "
+              f"(covering {format_percent(share)})",
+    ))
+    print()
+    print(format_table(
+        ["class", "fraction"],
+        [[name, format_percent(value)]
+         for name, value in composition_table(corpus).items()],
+        title="Character composition (Table IX classes)",
+    ))
+    print()
+    print(format_table(
+        ["length", "fraction"],
+        [[bucket, format_percent(value)]
+         for bucket, value in length_table(corpus).items()],
+        title="Length distribution (Table X buckets)",
+    ))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    training = load_corpus(args.training)
+    items = list(training.items())
+    if args.kind == "fuzzypsm":
+        if not args.base:
+            print("error: --base is required for fuzzyPSM",
+                  file=sys.stderr)
+            return 2
+        from repro.core.meter import FuzzyPSMConfig
+        base = load_corpus(args.base)
+        meter = FuzzyPSM.train(
+            base_dictionary=base.unique_passwords(), training=items,
+            config=FuzzyPSMConfig(
+                allow_reverse=args.allow_reverse,
+                allow_allcaps=args.allow_allcaps,
+            ),
+        )
+    elif args.kind == "pcfg":
+        meter = PCFGMeter.train(items)
+    else:
+        meter = MarkovMeter.train(
+            items, order=args.order, smoothing=Smoothing(args.smoothing)
+        )
+    save_meter(meter, args.output)
+    print(f"trained {meter.name} on {training.total} passwords "
+          f"-> {args.output}")
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    meter = load_meter(args.model)
+    passwords: Sequence[str] = args.passwords or [
+        line.rstrip("\n") for line in sys.stdin if line.strip()
+    ]
+    print(format_table(
+        ["password", "probability", "entropy(bits)"],
+        [
+            [pw, f"{meter.probability(pw):.3e}",
+             f"{meter.entropy(pw):.2f}"]
+            for pw in passwords
+        ],
+    ))
+    return 0
+
+
+def _cmd_guess(args: argparse.Namespace) -> int:
+    meter = load_meter(args.model)
+    for rank, (guess, probability) in enumerate(
+        meter.iter_guesses(limit=args.count), start=1
+    ):
+        print(f"{rank}\t{probability:.3e}\t{guess}")
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    print(format_table(
+        ["name", "figure", "kind", "base", "train", "test"],
+        [
+            [s.name, s.figure, s.kind, s.base_dataset,
+             s.train_dataset or "-", s.test_dataset]
+            for s in ALL_SCENARIOS
+        ],
+        title="Table XI -- training and testing scenarios",
+    ))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        corpus_size=args.corpus_size,
+        base_corpus_size=args.base_corpus_size,
+        seed=args.seed,
+    )
+    chosen = scenario(args.scenario)
+    if args.seeds:
+        from repro.experiments.robustness import (
+            run_scenario_across_seeds,
+        )
+        try:
+            seeds = [int(part) for part in args.seeds.split(",") if part]
+        except ValueError:
+            print("error: --seeds expects comma-separated integers",
+                  file=sys.stderr)
+            return 2
+        result = run_scenario_across_seeds(
+            chosen, seeds=seeds, config=config,
+            min_frequency=args.min_frequency,
+        )
+        print(format_table(
+            ["meter", "mean rank +/- std", "mean tau", "wins"],
+            result.rows(),
+            title=f"{chosen.name} across seeds {seeds}",
+        ))
+        return 0
+    result = run_scenario(
+        chosen, config=config, min_frequency=args.min_frequency,
+    )
+    print(format_curves(result))
+    print()
+    print("ranking:", format_ranking(result))
+    return 0
+
+
+def _cmd_coach(args: argparse.Namespace) -> int:
+    from repro.core.suggestions import (
+        improvement_report,
+        suggest_stronger,
+    )
+    meter = load_meter(args.model)
+    for password in args.passwords:
+        if meter.entropy(password) >= args.target_bits:
+            print(f"{password!r}: already at or above "
+                  f"{args.target_bits:.0f} bits")
+            continue
+        suggestions = suggest_stronger(
+            meter, password, target_bits=args.target_bits,
+            max_suggestions=args.max_suggestions,
+        )
+        for line in improvement_report(meter, password, suggestions):
+            print(line)
+        print()
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.attacks import (
+        HASH_PROFILES,
+        LockoutPolicy,
+        OfflineAttack,
+        OnlineAttack,
+    )
+    meter = load_meter(args.model)
+    victims = load_corpus(args.victims)
+    online = OnlineAttack(
+        LockoutPolicy(attempts_per_window=args.lockout)
+    ).run(meter.iter_guesses(), victims)
+    offline = OfflineAttack(
+        HASH_PROFILES[args.hash_name],
+        seconds=args.hours * 3600.0,
+        max_stream_guesses=args.max_guesses,
+    ).run(meter.iter_guesses(), victims)
+    print(online.summary())
+    print(offline.summary())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.datasets.zipf import fit_zipf, ideal_meter_coverage
+    from repro.metrics.guesswork import guessing_profile
+    corpus = load_corpus(args.corpus)
+    summary = guessing_profile(corpus, online_budget=args.online_budget)
+    rows = [
+        ["unique / total", f"{corpus.unique:,} / {corpus.total:,}"],
+        ["min-entropy", f"{summary.min_entropy_bits:.2f} bits"],
+        ["Shannon entropy", f"{summary.shannon_bits:.2f} bits"],
+        [f"lambda_{args.online_budget} (online success)",
+         format_percent(summary.online_success_rate)],
+        ["mu_0.5 (median work factor)",
+         f"{summary.offline_work_factor:,} guesses"],
+        ["G~_0.5 (effective guesswork)",
+         f"{summary.effective_guesswork_bits:.2f} bits"],
+    ]
+    try:
+        fit = fit_zipf(corpus)
+        mass, unique = ideal_meter_coverage(corpus, threshold=4)
+        rows.append(["Zipf exponent (R^2)",
+                     f"{fit.exponent:.2f} ({fit.r_squared:.3f})"])
+        rows.append(["f>=4 coverage (mass / unique)",
+                     f"{format_percent(mass)} / {format_percent(unique)}"])
+    except ValueError:
+        rows.append(["Zipf exponent", "n/a (too few repeated passwords)"])
+    print(format_table(
+        ["quantity", "value"], rows,
+        title=f"guessing profile: {corpus.name}",
+    ))
+    return 0
+
+
+_HANDLERS = {
+    "survey": _cmd_survey,
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "train": _cmd_train,
+    "measure": _cmd_measure,
+    "guess": _cmd_guess,
+    "scenarios": _cmd_scenarios,
+    "experiment": _cmd_experiment,
+    "coach": _cmd_coach,
+    "attack": _cmd_attack,
+    "profile": _cmd_profile,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI shim
+    sys.exit(main())

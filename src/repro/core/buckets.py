@@ -1,0 +1,178 @@
+"""Bucketed strength feedback (paper Sec. II-B).
+
+Deployed meters rarely expose raw probabilities; they group values into
+a few labelled buckets — ``[weak, medium, strong]`` (Apple) or
+``[weak, fair, good, strong]`` (Google, Fig. 1 of the paper).  This
+module turns any :class:`~repro.meters.base.Meter` into such a bucketed
+meter.
+
+Thresholds can be given directly (as entropy bits) or *calibrated*
+against a password corpus so that a chosen fraction of real passwords
+lands in each bucket — the data-driven way a service would tune its
+registration feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.datasets.corpus import PasswordCorpus
+from repro.meters.base import Meter
+
+#: Google's four labels (Fig. 1); the default labelling.
+DEFAULT_LABELS: Tuple[str, ...] = ("weak", "fair", "good", "strong")
+
+
+@dataclass(frozen=True)
+class BucketScale:
+    """Labels plus the entropy thresholds separating them.
+
+    ``thresholds[i]`` is the minimum entropy (bits) required for
+    ``labels[i + 1]``; entropies below ``thresholds[0]`` earn
+    ``labels[0]``.  There is exactly one threshold fewer than labels.
+
+    >>> scale = BucketScale(("weak", "strong"), (20.0,))
+    >>> scale.label_for(10.0), scale.label_for(25.0)
+    ('weak', 'strong')
+    """
+
+    labels: Tuple[str, ...]
+    thresholds: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.labels) < 2:
+            raise ValueError("need at least two labels")
+        if len(self.thresholds) != len(self.labels) - 1:
+            raise ValueError(
+                "need exactly len(labels) - 1 thresholds, got "
+                f"{len(self.thresholds)} for {len(self.labels)} labels"
+            )
+        if list(self.thresholds) != sorted(self.thresholds):
+            raise ValueError("thresholds must be ascending")
+
+    def label_for(self, entropy_bits: float) -> str:
+        """The bucket label for an entropy value."""
+        for index, threshold in enumerate(self.thresholds):
+            if entropy_bits < threshold:
+                return self.labels[index]
+        return self.labels[-1]
+
+    def index_for(self, entropy_bits: float) -> int:
+        """0-based bucket index (0 = weakest)."""
+        return self.labels.index(self.label_for(entropy_bits))
+
+
+class BucketedMeter:
+    """A meter wrapped with a bucket scale for user-facing feedback.
+
+    >>> from repro.meters.nist import NISTMeter
+    >>> meter = BucketedMeter(NISTMeter(),
+    ...                       BucketScale(("weak", "strong"), (20.0,)))
+    >>> meter.label("abc")
+    'weak'
+    """
+
+    def __init__(self, meter: Meter, scale: BucketScale) -> None:
+        self._meter = meter
+        self._scale = scale
+
+    @property
+    def meter(self) -> Meter:
+        return self._meter
+
+    @property
+    def scale(self) -> BucketScale:
+        return self._scale
+
+    def label(self, password: str) -> str:
+        return self._scale.label_for(self._meter.entropy(password))
+
+    def index(self, password: str) -> int:
+        return self._scale.index_for(self._meter.entropy(password))
+
+    def feedback(self, password: str) -> "Feedback":
+        """Label plus the raw numbers, for registration UIs."""
+        entropy = self._meter.entropy(password)
+        return Feedback(
+            password=password,
+            label=self._scale.label_for(entropy),
+            index=self._scale.index_for(entropy),
+            entropy_bits=entropy,
+            probability=self._meter.probability(password),
+        )
+
+
+@dataclass(frozen=True)
+class Feedback:
+    """One password's bucketed measurement."""
+
+    password: str
+    label: str
+    index: int
+    entropy_bits: float
+    probability: float
+
+    @property
+    def accepted(self) -> bool:
+        """Convention used by the examples: anything above bucket 0."""
+        return self.index > 0
+
+
+def calibrate_scale(meter: Meter, corpus: PasswordCorpus,
+                    labels: Sequence[str] = DEFAULT_LABELS,
+                    quantiles: Optional[Sequence[float]] = None
+                    ) -> BucketScale:
+    """Fit bucket thresholds to a corpus's entropy distribution.
+
+    With the default quantiles the buckets split the corpus evenly:
+    e.g. four labels put a quarter of (weighted) real passwords in
+    each.  A mandatory meter would then reject the weakest quartile.
+
+    Args:
+        meter: the meter to calibrate.
+        corpus: passwords representative of the user population.
+        labels: bucket names, weakest first.
+        quantiles: ascending cut points in (0, 1); defaults to even
+            splits (``k/len(labels)``).
+    """
+    if corpus.total == 0:
+        raise ValueError("cannot calibrate on an empty corpus")
+    if quantiles is None:
+        quantiles = [
+            index / len(labels) for index in range(1, len(labels))
+        ]
+    if len(quantiles) != len(labels) - 1:
+        raise ValueError("need exactly len(labels) - 1 quantiles")
+    if any(not 0.0 < q < 1.0 for q in quantiles):
+        raise ValueError("quantiles must be inside (0, 1)")
+    if list(quantiles) != sorted(quantiles):
+        raise ValueError("quantiles must be ascending")
+    weighted: List[Tuple[float, int]] = [
+        (meter.entropy(password), count)
+        for password, count in corpus.items()
+    ]
+    weighted.sort()
+    total = corpus.total
+    # Collapse to distinct entropies with cumulative mass, ascending.
+    distinct: List[Tuple[float, int]] = []
+    cumulative = 0
+    for entropy, count in weighted:
+        cumulative += count
+        if distinct and distinct[-1][0] == entropy:
+            distinct[-1] = (entropy, cumulative)
+        else:
+            distinct.append((entropy, cumulative))
+    thresholds: List[float] = []
+    for quantile in quantiles:
+        target = quantile * total
+        for index, (entropy, mass) in enumerate(distinct):
+            if mass >= target:
+                # Passwords *at* the quantile entropy stay in the lower
+                # bucket, so the cut sits at the next distinct entropy.
+                if index + 1 < len(distinct):
+                    thresholds.append(distinct[index + 1][0])
+                else:
+                    thresholds.append(entropy + 1e-9)
+                break
+    return BucketScale(tuple(labels), tuple(thresholds))

@@ -1,0 +1,415 @@
+"""The fuzzy probabilistic context-free grammar (paper Sec. IV-C).
+
+A :class:`FuzzyGrammar` is the learned artefact of the training phase.
+It holds four probability tables, mirroring Tables IV-VI of the paper:
+
+* **base structures** — ``S -> B_{n1} B_{n2} ...`` (tuple of segment
+  lengths), e.g. ``S -> B8 B1`` for ``p@ssw0rd1``;
+* **terminals** — one distribution per segment length ``n`` over the
+  strings that filled a ``B_n`` slot in training (basic passwords and
+  fallback runs share one table, exactly as in Table IV where ``B1 -> 1``
+  and ``B1 -> a`` coexist);
+* **capitalization** — a Yes/No distribution for "the first character
+  of a base segment was capitalized" (Table V), one factor per segment;
+* **leet** — a Yes/No distribution per leet rule ``L1..L6`` (Table VI),
+  one factor per stored character that belongs to a leet pair.
+
+The probability of a password is the product of the probabilities of
+every rule in its derivation (Fig. 11 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.util.freqdist import FrequencyDistribution
+from repro.util.leet import LEET_RULE_NAMES, LEET_BY_LETTER, LEET_BY_SUBSTITUTE
+
+#: A base structure is the tuple of segment lengths, e.g. ``(8, 1)``.
+Structure = Tuple[int, ...]
+
+
+def structure_label(structure: Structure) -> str:
+    """Human-readable form of a structure.
+
+    >>> structure_label((8, 1))
+    'B8 B1'
+    """
+    return " ".join(f"B{n}" for n in structure)
+
+
+def leet_rule_for_char(ch: str) -> Optional[str]:
+    """The leet rule (``L1``..``L6``) that ``ch`` participates in, if any.
+
+    Both sides of a pair map to the same rule:
+
+    >>> leet_rule_for_char("o"), leet_rule_for_char("0")
+    ('L3', 'L3')
+    >>> leet_rule_for_char("x") is None
+    True
+    """
+    if ch in LEET_BY_LETTER:
+        letter = ch
+    elif ch in LEET_BY_SUBSTITUTE:
+        letter = LEET_BY_SUBSTITUTE[ch]
+    else:
+        return None
+    index = "asoiet".index(letter)
+    return f"L{index + 1}"
+
+
+@dataclass(frozen=True)
+class DerivedSegment:
+    """One ``B_n`` slot of a derivation.
+
+    Attributes:
+        base: the stored terminal string filling the slot.
+        capitalized: whether the first-letter capitalization rule fired.
+        toggled_offsets: offsets into ``base`` where a leet toggle fired.
+        reversed_word: whether the reverse rule fired — the paper's
+            named future-work transformation ("substring movement and
+            reverse are left as future research", Sec. IV-C).  The
+            capitalization/leet transformations apply to the base
+            first; the resulting string is then reversed.
+        all_caps: whether the whole-word capitalization rule fired —
+            the paper's limitation #2 extension ("for capitalization,
+            it only considers the capitalization of the first
+            letter").  Mutually exclusive with ``capitalized``.
+    """
+
+    base: str
+    capitalized: bool = False
+    toggled_offsets: Tuple[int, ...] = ()
+    reversed_word: bool = False
+    all_caps: bool = False
+
+    @property
+    def length(self) -> int:
+        return len(self.base)
+
+    def surface(self) -> str:
+        """The observable string this segment derives.
+
+        >>> DerivedSegment("p@ssword", True, (5,)).surface()
+        'P@ssw0rd'
+        >>> DerivedSegment("password", reversed_word=True).surface()
+        'drowssap'
+        >>> DerivedSegment("pass12", all_caps=True).surface()
+        'PASS12'
+        """
+        if self.capitalized and self.all_caps:
+            raise ValueError(
+                "capitalized and all_caps are mutually exclusive"
+            )
+        chars: List[str] = []
+        toggled = set(self.toggled_offsets)
+        for offset, ch in enumerate(self.base):
+            if offset in toggled:
+                partner = LEET_BY_LETTER.get(ch) or LEET_BY_SUBSTITUTE.get(ch)
+                if partner is None:
+                    raise ValueError(
+                        f"offset {offset} of {self.base!r} is not leet-able"
+                    )
+                ch = partner
+            if self.all_caps or (offset == 0 and self.capitalized):
+                ch = ch.upper()
+            chars.append(ch)
+        text = "".join(chars)
+        return text[::-1] if self.reversed_word else text
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A full derivation ``S -> B_{n1}...B_{nk} -> password``."""
+
+    segments: Tuple[DerivedSegment, ...]
+
+    @property
+    def structure(self) -> Structure:
+        return tuple(seg.length for seg in self.segments)
+
+    def surface(self) -> str:
+        return "".join(seg.surface() for seg in self.segments)
+
+
+class FuzzyGrammar:
+    """Probability tables of the fuzzy PCFG, with incremental updates.
+
+    The grammar is *count-based*: every table stores raw observation
+    counts, so the update phase (paper Sec. IV-C) is a constant-time
+    increment and probabilities always reflect all data seen so far.
+    """
+
+    def __init__(self) -> None:
+        self.structures: FrequencyDistribution[Structure] = FrequencyDistribution()
+        self.terminals: Dict[int, FrequencyDistribution[str]] = {}
+        self.capitalization: FrequencyDistribution[bool] = FrequencyDistribution()
+        self.leet: Dict[str, FrequencyDistribution[bool]] = {
+            name: FrequencyDistribution() for name in LEET_RULE_NAMES
+        }
+        #: Reverse-rule Yes/No counts.  Populated only when a parser
+        #: with ``allow_reverse`` trained the grammar; grammars that
+        #: never saw the rule treat it as a certainty (factor 1.0) so
+        #: the extension is zero-cost when off.
+        self.reverse: FrequencyDistribution[bool] = FrequencyDistribution()
+        #: All-caps rule Yes/No counts (limitation-#2 extension);
+        #: same zero-cost-when-off semantics as ``reverse``.
+        self.allcaps: FrequencyDistribution[bool] = FrequencyDistribution()
+
+    # --- observation (training / update) ------------------------------
+
+    def observe(self, derivation: Derivation, count: int = 1) -> None:
+        """Record one training password's derivation into the tables."""
+        self.structures.add(derivation.structure, count)
+        for segment in derivation.segments:
+            table = self.terminals.setdefault(
+                segment.length, FrequencyDistribution()
+            )
+            table.add(segment.base, count)
+            self.capitalization.add(segment.capitalized, count)
+            self.reverse.add(segment.reversed_word, count)
+            self.allcaps.add(segment.all_caps, count)
+            toggled = set(segment.toggled_offsets)
+            for offset, ch in enumerate(segment.base):
+                rule = leet_rule_for_char(ch)
+                if rule is not None:
+                    self.leet[rule].add(offset in toggled, count)
+
+    # --- probabilities -------------------------------------------------
+
+    def structure_probability(self, structure: Structure) -> float:
+        return self.structures.probability(structure)
+
+    def terminal_probability(self, base: str) -> float:
+        table = self.terminals.get(len(base))
+        if table is None:
+            return 0.0
+        return table.probability(base)
+
+    def capitalization_probability(self, capitalized: bool) -> float:
+        return self.capitalization.probability(capitalized)
+
+    def leet_probability(self, rule: str, fired: bool) -> float:
+        if rule not in self.leet:
+            raise KeyError(f"unknown leet rule {rule!r}")
+        return self.leet[rule].probability(fired)
+
+    def reverse_probability(self, reversed_word: bool) -> float:
+        """Reverse-rule factor; a never-trained table is a no-op
+        (1.0 for No, 0.0 for Yes) so legacy grammars are unchanged."""
+        if self.reverse.total == 0:
+            return 0.0 if reversed_word else 1.0
+        return self.reverse.probability(reversed_word)
+
+    def allcaps_probability(self, all_caps: bool) -> float:
+        """All-caps factor; same no-op semantics for legacy grammars."""
+        if self.allcaps.total == 0:
+            return 0.0 if all_caps else 1.0
+        return self.allcaps.probability(all_caps)
+
+    def segment_probability(self, segment: DerivedSegment) -> float:
+        """Terminal x capitalization x reverse x per-char leet factors."""
+        probability = self.terminal_probability(segment.base)
+        if probability == 0.0:
+            return 0.0
+        probability *= self.capitalization_probability(segment.capitalized)
+        probability *= self.reverse_probability(segment.reversed_word)
+        probability *= self.allcaps_probability(segment.all_caps)
+        toggled = set(segment.toggled_offsets)
+        for offset, ch in enumerate(segment.base):
+            rule = leet_rule_for_char(ch)
+            if rule is not None:
+                probability *= self.leet_probability(rule, offset in toggled)
+        return probability
+
+    def derivation_probability(self, derivation: Derivation) -> float:
+        """Product of all rule probabilities of the derivation (Fig. 11)."""
+        probability = self.structure_probability(derivation.structure)
+        for segment in derivation.segments:
+            if probability == 0.0:
+                return 0.0
+            probability *= self.segment_probability(segment)
+        return probability
+
+    # --- introspection ---------------------------------------------------
+
+    @property
+    def total_passwords(self) -> int:
+        """Number of (weighted) training passwords observed."""
+        return self.structures.total
+
+    def known_lengths(self) -> List[int]:
+        return sorted(self.terminals)
+
+    def rule_table(self) -> List[Tuple[str, str, float]]:
+        """Flat ``(lhs, rhs, probability)`` view, as in Tables IV-VI."""
+        rows: List[Tuple[str, str, float]] = []
+        for structure, count in self.structures.most_common():
+            rows.append(
+                ("S", structure_label(structure), count / self.structures.total)
+            )
+        for length in self.known_lengths():
+            table = self.terminals[length]
+            for base, count in table.most_common():
+                rows.append((f"B{length}", base, count / table.total))
+        if self.capitalization.total:
+            for fired in (True, False):
+                rows.append(
+                    (
+                        "Capitalize",
+                        "Yes" if fired else "No",
+                        self.capitalization.probability(fired),
+                    )
+                )
+        for rule in LEET_RULE_NAMES:
+            table = self.leet[rule]
+            if table.total:
+                for fired in (True, False):
+                    rows.append(
+                        (rule, "Yes" if fired else "No", table.probability(fired))
+                    )
+        # The reverse extension only surfaces when it actually fired,
+        # keeping the default tables identical to the paper's IV-VI.
+        if self.reverse.count(True):
+            for fired in (True, False):
+                rows.append(
+                    (
+                        "Reverse",
+                        "Yes" if fired else "No",
+                        self.reverse.probability(fired),
+                    )
+                )
+        if self.allcaps.count(True):
+            for fired in (True, False):
+                rows.append(
+                    (
+                        "AllCaps",
+                        "Yes" if fired else "No",
+                        self.allcaps.probability(fired),
+                    )
+                )
+        return rows
+
+    # --- sampling ---------------------------------------------------------
+
+    def sample(self, rng) -> Tuple[str, float]:
+        """Draw one password from the grammar's distribution.
+
+        Returns ``(password, probability)``; used by the Monte-Carlo
+        guess-number estimator (Dell'Amico & Filippone, CCS'15).
+        ``rng`` is a :class:`random.Random`.
+        """
+        derivation, probability = self.sample_derivation(rng)
+        return derivation.surface(), probability
+
+    def sample_derivation(self, rng) -> Tuple[Derivation, float]:
+        """Draw one full derivation (not just its surface string).
+
+        Exposing the derivation lets callers check whether the sample is
+        *canonical* — i.e. whether the deterministic measuring parse of
+        the surface reproduces exactly this derivation — which the
+        meter's rejection sampler needs (see :meth:`FuzzyPSM.sample`).
+        """
+        if self.structures.total == 0:
+            raise ValueError("cannot sample from an untrained grammar")
+        structure = _sample_freqdist(self.structures, rng)
+        segments: List[DerivedSegment] = []
+        for length in structure:
+            base = _sample_freqdist(self.terminals[length], rng)
+            capitalized = (
+                rng.random() < self.capitalization_probability(True)
+            )
+            reversed_word = (
+                rng.random() < self.reverse_probability(True)
+            )
+            all_caps = (
+                not capitalized
+                and rng.random() < self.allcaps_probability(True)
+            )
+            toggles: List[int] = []
+            for offset, ch in enumerate(base):
+                rule = leet_rule_for_char(ch)
+                if rule is not None and rng.random() < self.leet_probability(
+                    rule, True
+                ):
+                    toggles.append(offset)
+            segments.append(
+                DerivedSegment(base, capitalized, tuple(toggles),
+                               reversed_word, all_caps)
+            )
+        derivation = Derivation(tuple(segments))
+        return derivation, self.derivation_probability(derivation)
+
+    # --- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot of every count table."""
+        return {
+            "structures": [
+                [list(structure), count]
+                for structure, count in self.structures.items()
+            ],
+            "terminals": {
+                str(length): dict(table.items())
+                for length, table in self.terminals.items()
+            },
+            "capitalization": {
+                "yes": self.capitalization.count(True),
+                "no": self.capitalization.count(False),
+            },
+            "reverse": {
+                "yes": self.reverse.count(True),
+                "no": self.reverse.count(False),
+            },
+            "allcaps": {
+                "yes": self.allcaps.count(True),
+                "no": self.allcaps.count(False),
+            },
+            "leet": {
+                rule: {
+                    "yes": table.count(True),
+                    "no": table.count(False),
+                }
+                for rule, table in self.leet.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzyGrammar":
+        grammar = cls()
+        for structure, count in data["structures"]:
+            grammar.structures.add(tuple(structure), count)
+        for length, table in data["terminals"].items():
+            dist = grammar.terminals.setdefault(
+                int(length), FrequencyDistribution()
+            )
+            for base, count in table.items():
+                dist.add(base, count)
+        grammar.capitalization.add(True, data["capitalization"]["yes"])
+        grammar.capitalization.add(False, data["capitalization"]["no"])
+        # "reverse" is absent from documents written before the
+        # reverse-rule extension; an empty table reproduces the old
+        # behaviour exactly (see reverse_probability).
+        reverse = data.get("reverse", {"yes": 0, "no": 0})
+        grammar.reverse.add(True, reverse["yes"])
+        grammar.reverse.add(False, reverse["no"])
+        allcaps = data.get("allcaps", {"yes": 0, "no": 0})
+        grammar.allcaps.add(True, allcaps["yes"])
+        grammar.allcaps.add(False, allcaps["no"])
+        for rule, counts in data["leet"].items():
+            grammar.leet[rule].add(True, counts["yes"])
+            grammar.leet[rule].add(False, counts["no"])
+        return grammar
+
+
+def _sample_freqdist(dist: FrequencyDistribution, rng):
+    """Draw one item from a frequency distribution by its counts."""
+    target = rng.random() * dist.total
+    cumulative = 0
+    item = None
+    for item, count in dist.items():
+        cumulative += count
+        if cumulative > target:
+            return item
+    return item  # numeric edge: fall through to the last item

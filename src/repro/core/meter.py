@@ -1,0 +1,392 @@
+"""fuzzyPSM — the public train / measure / update API (paper Sec. IV-C).
+
+Typical use::
+
+    from repro import FuzzyPSM
+
+    meter = FuzzyPSM.train(base_dictionary=rockyou, training=phpbb)
+    meter.probability("P@ssw0rd123")   # higher = weaker
+    meter.entropy("P@ssw0rd123")       # same, in bits
+    meter.accept("newpassword1")       # update phase
+
+The meter is a :class:`~repro.meters.base.ProbabilisticMeter`: it can
+also output guesses in decreasing probability (making it a cracking
+tool, paper footnote 6) and be sampled for Monte-Carlo guess numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.grammar import (
+    Derivation,
+    DerivedSegment,
+    FuzzyGrammar,
+    leet_rule_for_char,
+    structure_label,
+)
+from repro.core.parser import FuzzyParser, ParsedPassword
+from repro.core.training import PasswordEntry, build_base_trie, train_grammar
+from repro.core.trie import PrefixTrie
+from repro.meters.base import ProbabilisticMeter
+from repro.metrics.enumeration import (
+    LazyDescendingList,
+    deduplicate_guesses,
+    descending_products,
+    merge_weighted_descending,
+)
+
+
+@dataclass(frozen=True)
+class FuzzyPSMConfig:
+    """Tunables of the meter; defaults are the paper's choices.
+
+    Attributes:
+        min_base_length: basic passwords shorter than this are dropped
+            from the trie (paper: 3).
+        allow_capitalization: model the capitalize-first-letter rule.
+        allow_leet: model the six leet rules of Table VI.
+        allow_reverse: model the reverse rule — the paper's named
+            future work ("substring movement and reverse are left as
+            future research"); off by default to match the published
+            meter exactly.
+        allow_allcaps: model whole-word capitalization — the paper's
+            limitation-#2 extension ("it only considers the
+            capitalization of the first letter"); off by default.
+        auto_update: when True, :meth:`FuzzyPSM.probability` feeds every
+            measured password back through the update phase.  The paper
+            updates on *accepted* passwords, so this defaults to False
+            and :meth:`FuzzyPSM.accept` is the explicit entry point.
+    """
+
+    min_base_length: int = 3
+    allow_capitalization: bool = True
+    allow_leet: bool = True
+    allow_reverse: bool = False
+    allow_allcaps: bool = False
+    auto_update: bool = False
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Human-readable breakdown of a measurement (for UIs / examples)."""
+
+    password: str
+    probability: float
+    structure: str
+    segments: Tuple[Tuple[str, str], ...]  # (base, description) pairs
+
+    def lines(self) -> List[str]:
+        out = [
+            f"password   : {self.password}",
+            f"probability: {self.probability:.3e}",
+            f"structure  : S -> {self.structure}",
+        ]
+        for base, description in self.segments:
+            out.append(f"  segment {base!r}: {description}")
+        return out
+
+
+class FuzzyPSM(ProbabilisticMeter):
+    """The fuzzy-PCFG password strength meter.
+
+    Build with :meth:`train` (the normal path) or assemble from an
+    existing :class:`FuzzyGrammar` and :class:`PrefixTrie` (e.g. after
+    deserialising a stored model).
+    """
+
+    name = "fuzzyPSM"
+
+    def __init__(self, grammar: FuzzyGrammar, trie: PrefixTrie,
+                 config: Optional[FuzzyPSMConfig] = None) -> None:
+        self._config = config or FuzzyPSMConfig()
+        self._grammar = grammar
+        self._trie = trie
+        self._parser = FuzzyParser(
+            trie,
+            allow_capitalization=self._config.allow_capitalization,
+            allow_leet=self._config.allow_leet,
+            allow_reverse=self._config.allow_reverse,
+            allow_allcaps=self._config.allow_allcaps,
+        )
+
+    # --- construction -------------------------------------------------
+
+    @classmethod
+    def train(cls, base_dictionary: Iterable[str],
+              training: Iterable[PasswordEntry],
+              config: Optional[FuzzyPSMConfig] = None) -> "FuzzyPSM":
+        """Run the training phase and return a ready meter.
+
+        Args:
+            base_dictionary: passwords from a *less sensitive* service
+                (the paper uses Rockyou / Tianya).
+            training: passwords from a *sensitive* service (optionally
+                ``(password, count)`` pairs).
+            config: meter tunables; see :class:`FuzzyPSMConfig`.
+        """
+        config = config or FuzzyPSMConfig()
+        trie = build_base_trie(
+            base_dictionary, min_length=config.min_base_length
+        )
+        parser = FuzzyParser(
+            trie,
+            allow_capitalization=config.allow_capitalization,
+            allow_leet=config.allow_leet,
+            allow_reverse=config.allow_reverse,
+            allow_allcaps=config.allow_allcaps,
+        )
+        grammar = train_grammar(training, trie, parser=parser)
+        return cls(grammar, trie, config)
+
+    # --- accessors ------------------------------------------------------
+
+    @property
+    def grammar(self) -> FuzzyGrammar:
+        return self._grammar
+
+    @property
+    def trie(self) -> PrefixTrie:
+        return self._trie
+
+    @property
+    def config(self) -> FuzzyPSMConfig:
+        return self._config
+
+    # --- measuring -------------------------------------------------------
+
+    def parse(self, password: str) -> ParsedPassword:
+        """The deterministic fuzzy parse used for measuring/updating."""
+        return self._parser.parse(password)
+
+    def probability(self, password: str) -> float:
+        """``M(pw)``: probability of the password's fuzzy derivation.
+
+        Unseen structures or terminals yield 0.0 — under trawling
+        guessing, a password the model cannot derive is out of reach of
+        the modelled attacker.
+        """
+        if not password:
+            return 0.0
+        parsed = self.parse(password)
+        probability = self._grammar.derivation_probability(
+            parsed.to_derivation()
+        )
+        if self._config.auto_update:
+            self._grammar.observe(parsed.to_derivation())
+        return probability
+
+    def explain(self, password: str) -> Explanation:
+        """A structured account of how the password was derived."""
+        parsed = self.parse(password)
+        probability = self._grammar.derivation_probability(
+            parsed.to_derivation()
+        )
+        segments: List[Tuple[str, str]] = []
+        for segment in parsed.segments:
+            notes = [segment.kind.value]
+            if segment.capitalized:
+                notes.append("capitalized")
+            if segment.reversed_word:
+                notes.append("reversed")
+            if segment.all_caps:
+                notes.append("all-caps")
+            for offset in segment.toggled_offsets:
+                rule = leet_rule_for_char(segment.base[offset])
+                notes.append(f"leet {rule} at {offset}")
+            segments.append((segment.base, ", ".join(notes)))
+        return Explanation(
+            password=password,
+            probability=probability,
+            structure=structure_label(parsed.structure),
+            segments=tuple(segments),
+        )
+
+    # --- update phase ------------------------------------------------------
+
+    def accept(self, password: str, count: int = 1) -> None:
+        """The update phase: fold an accepted password into the grammar.
+
+        All probabilities associated with the password's structures,
+        terminals and transformation rules shift towards the new
+        observation (paper Sec. IV-C), keeping the meter adaptive.
+        """
+        if not password:
+            raise ValueError("cannot accept an empty password")
+        parsed = self.parse(password)
+        self._grammar.observe(parsed.to_derivation(), count)
+
+    # --- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot: base trie, grammar and config."""
+        return {
+            "config": {
+                "min_base_length": self._config.min_base_length,
+                "allow_capitalization": self._config.allow_capitalization,
+                "allow_leet": self._config.allow_leet,
+                "allow_reverse": self._config.allow_reverse,
+                "allow_allcaps": self._config.allow_allcaps,
+                "auto_update": self._config.auto_update,
+            },
+            "base_words": list(self._trie.iter_words()),
+            "grammar": self._grammar.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzyPSM":
+        config = FuzzyPSMConfig(**data["config"])
+        trie = PrefixTrie(
+            data["base_words"], min_length=config.min_base_length
+        )
+        grammar = FuzzyGrammar.from_dict(data["grammar"])
+        return cls(grammar, trie, config)
+
+    # --- probabilistic-meter extras -----------------------------------------
+
+    def sample(self, rng: random.Random,
+               max_attempts: int = 1000) -> Tuple[str, float]:
+        """Draw ``(password, probability)`` consistent with ``probability``.
+
+        The grammar can emit several derivations for the same surface
+        string, but the meter always measures via the single canonical
+        (deterministic longest-prefix) parse.  To sample from exactly
+        the distribution that ``probability`` defines, draws whose
+        canonical parse differs from the sampled derivation are
+        rejected and redrawn.  Non-canonical draws are rare in trained
+        grammars; if ``max_attempts`` are exhausted the last surface is
+        returned with its canonical (measured) probability so the pair
+        stays self-consistent.
+        """
+        surface = ""
+        for _ in range(max_attempts):
+            derivation, probability = self._grammar.sample_derivation(rng)
+            surface = derivation.surface()
+            if self.parse(surface).to_derivation() == derivation:
+                return surface, probability
+        return surface, self.probability(surface)
+
+    def iter_guesses(self, limit: Optional[int] = None
+                     ) -> Iterator[Tuple[str, float]]:
+        """Guesses in decreasing probability order (deduplicated).
+
+        Lazily merges, over all learned base structures, the product of
+        per-slot variant streams (terminal x capitalization x leet).
+        """
+        slot_cache: dict = {}
+
+        def slot_list(length: int) -> LazyDescendingList:
+            if length not in slot_cache:
+                slot_cache[length] = LazyDescendingList(
+                    self._slot_variants(length)
+                )
+            return slot_cache[length]
+
+        def structure_stream(structure: Tuple[int, ...]
+                             ) -> Iterator[Tuple[str, float]]:
+            factors = [slot_list(length) for length in structure]
+            for surfaces, probability in descending_products(factors):
+                yield "".join(surfaces), probability
+
+        streams = []
+        total = self._grammar.structures.total
+        if total == 0:
+            return
+        for structure, count in self._grammar.structures.most_common():
+            streams.append((count / total, structure_stream(structure)))
+        merged = merge_weighted_descending(streams)
+        deduplicated = deduplicate_guesses(merged)
+        if limit is None:
+            yield from deduplicated
+        else:
+            for index, item in enumerate(deduplicated):
+                if index >= limit:
+                    return
+                yield item
+
+    def _slot_variants(self, length: int) -> Iterator[Tuple[str, float]]:
+        """Descending (surface, probability) stream for one B_n slot."""
+        table = self._grammar.terminals.get(length)
+        if table is None or table.total == 0:
+            return iter(())
+        total = table.total
+
+        def variants_of(base: str) -> Iterator[Tuple[str, float]]:
+            factors = [self._case_reverse_factor(base)]
+            for offset, ch in enumerate(base):
+                rule = leet_rule_for_char(ch)
+                if rule is not None:
+                    factors.append(self._leet_factor(rule, offset))
+            for choices, probability in descending_products(factors):
+                capitalized, reversed_word, all_caps = choices[0]
+                toggles = tuple(
+                    offset for offset in choices[1:] if offset is not None
+                )
+                segment = DerivedSegment(base, capitalized, toggles,
+                                         reversed_word, all_caps)
+                yield segment.surface(), probability
+
+        weighted = [
+            (count / total, variants_of(base))
+            for base, count in table.most_common()
+        ]
+        return merge_weighted_descending(weighted)
+
+    def _case_reverse_factor(self, base: str):
+        """(capitalized, reversed, all_caps) choices for a slot.
+
+        Enumeration must only emit variants the measuring parse can
+        report, or measured and enumerated probabilities would drift:
+
+        * ``capitalized=True`` needs a lower-case first character;
+        * ``reversed_word=True`` needs the reverse rule enabled and
+          observed, a non-palindromic base that is an actual trie word
+          (fallback runs are not reverse-matchable), and — matching
+          the parser's semantics — no case rule on the same segment;
+        * ``all_caps=True`` needs the rule enabled and observed, a
+          trie-word base, and an upper-casing that changes a character
+          beyond position 0 (otherwise the surface collides with the
+          first-letter or plain reading, which the parser prefers).
+        """
+        p_cap_yes = self._grammar.capitalization_probability(True)
+        p_cap_no = self._grammar.capitalization_probability(False)
+        p_rev_yes = self._grammar.reverse_probability(True)
+        p_rev_no = self._grammar.reverse_probability(False)
+        p_ac_yes = self._grammar.allcaps_probability(True)
+        p_ac_no = self._grammar.allcaps_probability(False)
+        options = [
+            ((False, False, False), p_cap_no * p_rev_no * p_ac_no)
+        ]
+        if base[:1].islower():
+            options.append(
+                ((True, False, False), p_cap_yes * p_rev_no * p_ac_no)
+            )
+        if (
+            self._config.allow_reverse
+            and self._grammar.reverse.count(True) > 0
+            and base != base[::-1]
+            and base in self._trie
+        ):
+            options.append(
+                ((False, True, False), p_cap_no * p_rev_yes * p_ac_no)
+            )
+        if (
+            self._config.allow_allcaps
+            and self._grammar.allcaps.count(True) > 0
+            and base in self._trie
+            and base[1:] != base[1:].upper()
+        ):
+            options.append(
+                ((False, False, True), p_cap_no * p_rev_no * p_ac_yes)
+            )
+        options.sort(key=lambda item: (-item[1], item[0]))
+        return options
+
+    def _leet_factor(self, rule: str, offset: int):
+        p_yes = self._grammar.leet_probability(rule, True)
+        p_no = self._grammar.leet_probability(rule, False)
+        options = [(None, p_no), (offset, p_yes)]
+        options.sort(key=lambda item: (-item[1], item[0] is not None))
+        return options

@@ -1,0 +1,259 @@
+"""Parsing passwords into fuzzy-PCFG derivations (paper Sec. IV-C).
+
+Every password — during training *and* measuring — is parsed by the same
+deterministic procedure:
+
+1. From the current position, find the **longest fuzzy prefix match** in
+   the base-dictionary trie (exact / capitalized-first-letter / leet
+   toggled characters).  The match becomes a dictionary base segment.
+2. If no dictionary word matches, fall back to the **traditional PCFG**
+   treatment: consume one maximal L/D/S character run as an opaque base
+   segment (the paper's ``tyxdqd123 -> B6 B3`` example).
+3. Repeat until the password is consumed.
+
+The resulting sequence of segments, each with its capitalization flag
+and leet-toggle offsets, is a :class:`~repro.core.grammar.Derivation`
+whose probability the grammar can evaluate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.grammar import Derivation, DerivedSegment
+from repro.core.trie import PrefixTrie
+from repro.util.charclasses import segment_by_class
+
+
+class SegmentKind(enum.Enum):
+    """How a segment was obtained — informational only; the grammar
+    pools both kinds into the same ``B_n`` tables (Table IV)."""
+
+    DICTIONARY = "dictionary"
+    FALLBACK = "fallback"
+
+
+@dataclass(frozen=True)
+class ParsedSegment:
+    """A parsed base segment plus its transformation decisions."""
+
+    base: str
+    capitalized: bool
+    toggled_offsets: Tuple[int, ...]
+    kind: SegmentKind
+    reversed_word: bool = False
+    all_caps: bool = False
+
+    def to_derived(self) -> DerivedSegment:
+        return DerivedSegment(
+            self.base, self.capitalized, self.toggled_offsets,
+            self.reversed_word, self.all_caps,
+        )
+
+
+@dataclass(frozen=True)
+class ParsedPassword:
+    """The full parse of one password."""
+
+    password: str
+    segments: Tuple[ParsedSegment, ...]
+
+    @property
+    def structure(self) -> Tuple[int, ...]:
+        return tuple(len(seg.base) for seg in self.segments)
+
+    @property
+    def uses_dictionary(self) -> bool:
+        """True when at least one segment came from the base dictionary."""
+        return any(seg.kind is SegmentKind.DICTIONARY for seg in self.segments)
+
+    @property
+    def transformation_count(self) -> int:
+        return sum(
+            int(seg.capitalized) + len(seg.toggled_offsets)
+            + int(seg.reversed_word) + int(seg.all_caps)
+            for seg in self.segments
+        )
+
+    def to_derivation(self) -> Derivation:
+        return Derivation(tuple(seg.to_derived() for seg in self.segments))
+
+
+class FuzzyParser:
+    """Deterministic longest-prefix-match parser over a base trie.
+
+    >>> trie = PrefixTrie(["password", "123qwe"])
+    >>> parser = FuzzyParser(trie)
+    >>> parse = parser.parse("Password123")
+    >>> [seg.base for seg in parse.segments]
+    ['password', '123']
+    >>> parse.segments[0].capitalized
+    True
+    >>> parse.structure
+    (8, 3)
+    """
+
+    def __init__(self, trie: PrefixTrie, allow_capitalization: bool = True,
+                 allow_leet: bool = True,
+                 allow_reverse: bool = False,
+                 allow_allcaps: bool = False) -> None:
+        self._trie = trie
+        self._allow_capitalization = allow_capitalization
+        self._allow_leet = allow_leet
+        self._allow_reverse = allow_reverse
+        self._allow_allcaps = allow_allcaps
+        # The reverse rule (the paper's named future work) matches a
+        # password prefix against *reversed* dictionary words; a
+        # second trie over the reversed words answers those queries in
+        # the same left-to-right pass.  Palindromes are excluded: their
+        # reversed reading is indistinguishable from the plain one.
+        self._reversed_trie: Optional[PrefixTrie] = None
+        if allow_reverse:
+            self._reversed_trie = PrefixTrie(
+                min_length=trie.min_length
+            )
+            for word in trie.iter_words():
+                if word != word[::-1]:
+                    self._reversed_trie.insert(word[::-1])
+
+    @property
+    def trie(self) -> PrefixTrie:
+        return self._trie
+
+    @property
+    def allow_reverse(self) -> bool:
+        return self._allow_reverse
+
+    def parse(self, password: str) -> ParsedPassword:
+        """Parse ``password`` into base segments (never fails)."""
+        segments: List[ParsedSegment] = []
+        position = 0
+        while position < len(password):
+            remainder = password[position:]
+            segment = self._best_dictionary_segment(remainder)
+            if segment is not None:
+                segments.append(segment)
+                position += len(segment.base)
+            else:
+                segments.append(self._fallback_segment(remainder))
+                position += len(segments[-1].base)
+        return ParsedPassword(password, tuple(segments))
+
+    def _best_dictionary_segment(self, remainder: str
+                                 ) -> Optional[ParsedSegment]:
+        """Longest match over both reading directions.
+
+        Preference order: longest consumed prefix, then fewest
+        transformations (the reverse flag counts as one), then the
+        forward reading, then lexicographic base — fully deterministic.
+        """
+        candidates: List[Tuple[int, int, int, str, ParsedSegment]] = []
+        forward = self._trie.longest_fuzzy_match(
+            remainder,
+            allow_capitalization=self._allow_capitalization,
+            allow_leet=self._allow_leet,
+        )
+        if forward is not None:
+            candidates.append((
+                -forward.length, forward.transformations, 0,
+                forward.base,
+                ParsedSegment(
+                    base=forward.base,
+                    capitalized=forward.capitalized,
+                    toggled_offsets=forward.toggled_offsets,
+                    kind=SegmentKind.DICTIONARY,
+                ),
+            ))
+        if self._reversed_trie is not None:
+            # Capitalization is a first-letter-of-base rule; under
+            # reversal it would surface at the segment's end, which
+            # users do not do — only exact/leet readings are matched.
+            backward = self._reversed_trie.longest_fuzzy_match(
+                remainder,
+                allow_capitalization=False,
+                allow_leet=self._allow_leet,
+            )
+            if backward is not None:
+                base = backward.base[::-1]
+                length = backward.length
+                # Leet offsets arrive relative to the observed
+                # (reversed) text; map them onto the stored base.
+                toggles = tuple(sorted(
+                    length - 1 - offset
+                    for offset in backward.toggled_offsets
+                ))
+                candidates.append((
+                    -length, backward.transformations + 1, 1, base,
+                    ParsedSegment(
+                        base=base,
+                        capitalized=False,
+                        toggled_offsets=toggles,
+                        kind=SegmentKind.DICTIONARY,
+                        reversed_word=True,
+                    ),
+                ))
+        if self._allow_allcaps:
+            allcaps = self._allcaps_candidate(remainder)
+            if allcaps is not None:
+                candidates.append(allcaps)
+        if not candidates:
+            return None
+        candidates.sort(key=lambda item: item[:4])
+        return candidates[0][4]
+
+    def _allcaps_candidate(self, remainder: str):
+        """An all-caps reading: the observed prefix is a stored word
+        with every letter upper-cased (limitation-#2 extension).
+
+        Matching runs against the lower-cased text; the candidate only
+        stands if the *observed* prefix really is the all-caps surface
+        of the matched base (so plain lower-case words never read as
+        all-caps, and single-leading-letter words — where all-caps is
+        indistinguishable from first-letter capitalization — lose to
+        the cheaper first-letter reading via the direction tag).
+        """
+        match = self._trie.longest_fuzzy_match(
+            remainder.lower(),
+            allow_capitalization=False,
+            allow_leet=self._allow_leet,
+        )
+        if match is None:
+            return None
+        segment = ParsedSegment(
+            base=match.base,
+            capitalized=False,
+            toggled_offsets=match.toggled_offsets,
+            kind=SegmentKind.DICTIONARY,
+            all_caps=True,
+        )
+        surface = segment.to_derived().surface()
+        observed = remainder[:match.length]
+        if surface != observed:
+            return None
+        # The rule must actually change something (reject pure-digit
+        # or already-lower readings, which the exact match covers).
+        if observed == match.base:
+            return None
+        return (
+            -match.length, match.transformations + 1, 2, match.base,
+            segment,
+        )
+
+    def _fallback_segment(self, remainder: str) -> ParsedSegment:
+        """One maximal L/D/S run, canonicalised for the grammar.
+
+        Only the capitalization of the *first* character is modelled
+        (paper limitation #2), so the base form lower-cases just that
+        character; no leet decisions are inferred for fallback runs.
+        """
+        run = segment_by_class(remainder)[0].text
+        capitalized = run[0].isupper()
+        base = run[0].lower() + run[1:] if capitalized else run
+        return ParsedSegment(
+            base=base,
+            capitalized=capitalized,
+            toggled_offsets=(),
+            kind=SegmentKind.FALLBACK,
+        )

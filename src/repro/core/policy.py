@@ -1,0 +1,163 @@
+"""Password composition policies (paper Sec. II-B).
+
+The paper's formal definition: a password is a string over an alphabet
+``Sigma`` (a subset of the 95 printable ASCII characters) with length
+between ``Lmin`` and ``Lmax``; the set of passwords an authentication
+system accepts is ``Gamma = union of Sigma^l for l in [Lmin, Lmax]``.
+Sec. II-B surveys the top-50 sites: ``6 <= len <= 20`` and
+``6 <= len <= 16`` are the two most common policies, and services add
+composition rules (require a digit, require mixed case, ...).
+
+:class:`PasswordPolicy` captures that definition; it is used by the
+registration example, by corpus filtering, and by the synthetic
+generator's per-dataset length constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.datasets.corpus import PasswordCorpus
+from repro.util.charclasses import PRINTABLE_ASCII
+
+#: Requirement predicates available to policies.
+_REQUIREMENT_CHECKS = {
+    "lower": lambda pw: any(ch.islower() for ch in pw),
+    "upper": lambda pw: any(ch.isupper() for ch in pw),
+    "digit": lambda pw: any(ch.isdigit() for ch in pw),
+    "symbol": lambda pw: any(not ch.isalnum() for ch in pw),
+}
+
+
+@dataclass(frozen=True)
+class PolicyViolation:
+    """One reason a password fails a policy."""
+
+    rule: str
+    message: str
+
+
+@dataclass(frozen=True)
+class PasswordPolicy:
+    """``Gamma`` plus composition requirements.
+
+    Attributes:
+        min_length: ``Lmin`` (the paper's survey: 6 is the norm).
+        max_length: ``Lmax`` (20 or 16 at most top-50 sites).
+        alphabet: allowed characters; defaults to all 95 printable
+            ASCII (the paper's cracking-experiment setting).
+        required_classes: character classes that must appear, from
+            ``{"lower", "upper", "digit", "symbol"}``.
+
+    >>> policy = PasswordPolicy(min_length=6, required_classes=("digit",))
+    >>> policy.is_allowed("abc123")
+    True
+    >>> policy.is_allowed("abcdef")
+    False
+    """
+
+    min_length: int = 6
+    max_length: int = 20
+    alphabet: FrozenSet[str] = field(default=PRINTABLE_ASCII)
+    required_classes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.min_length < 1:
+            raise ValueError("min_length must be positive")
+        if self.max_length < self.min_length:
+            raise ValueError("max_length must be >= min_length")
+        if not self.alphabet:
+            raise ValueError("alphabet must be non-empty")
+        unknown = set(self.required_classes) - set(_REQUIREMENT_CHECKS)
+        if unknown:
+            raise ValueError(
+                f"unknown required classes: {', '.join(sorted(unknown))}"
+            )
+
+    # --- checking -------------------------------------------------------
+
+    def violations(self, password: str) -> List[PolicyViolation]:
+        """Every rule the password breaks (empty list = acceptable)."""
+        found: List[PolicyViolation] = []
+        if len(password) < self.min_length:
+            found.append(PolicyViolation(
+                "min_length",
+                f"shorter than {self.min_length} characters",
+            ))
+        if len(password) > self.max_length:
+            found.append(PolicyViolation(
+                "max_length",
+                f"longer than {self.max_length} characters",
+            ))
+        outside = sorted(set(password) - self.alphabet)
+        if outside:
+            found.append(PolicyViolation(
+                "alphabet",
+                "characters outside the allowed alphabet: "
+                + "".join(outside),
+            ))
+        for name in self.required_classes:
+            if not _REQUIREMENT_CHECKS[name](password):
+                found.append(PolicyViolation(
+                    f"require_{name}",
+                    f"must contain at least one {name} character",
+                ))
+        return found
+
+    def is_allowed(self, password: str) -> bool:
+        """True when the password is in ``Gamma`` and meets every rule."""
+        return not self.violations(password)
+
+    # --- corpus-level operations --------------------------------------------
+
+    def filter_corpus(self, corpus: PasswordCorpus,
+                      name: Optional[str] = None) -> PasswordCorpus:
+        """The sub-corpus of policy-compliant passwords.
+
+        Useful for modelling what a dataset would have looked like
+        under a policy (the paper attributes CSDN's length spike at 8
+        and Singles.org's cap at 8 to site policies).
+        """
+        counts = {
+            password: count
+            for password, count in corpus.items()
+            if self.is_allowed(password)
+        }
+        return PasswordCorpus(
+            counts,
+            name=name or f"{corpus.name}[{self.describe()}]",
+            service=corpus.service,
+            location=corpus.location,
+            language=corpus.language,
+        )
+
+    def compliance_rate(self, corpus: PasswordCorpus) -> float:
+        """Weighted fraction of corpus entries the policy accepts."""
+        if corpus.total == 0:
+            raise ValueError("empty corpus")
+        accepted = sum(
+            count
+            for password, count in corpus.items()
+            if self.is_allowed(password)
+        )
+        return accepted / corpus.total
+
+    def describe(self) -> str:
+        """Compact human-readable form, e.g. ``6-20+digit``."""
+        text = f"{self.min_length}-{self.max_length}"
+        for name in self.required_classes:
+            text += f"+{name}"
+        return text
+
+
+#: The two policies the paper's top-50 survey found most common.
+COMMON_POLICIES = {
+    "6-20": PasswordPolicy(min_length=6, max_length=20),
+    "6-16": PasswordPolicy(min_length=6, max_length=16),
+    #: The NIST composition-bonus style rule (upper + non-alpha).
+    "complex": PasswordPolicy(
+        min_length=8, max_length=64,
+        required_classes=("upper", "digit"),
+    ),
+}

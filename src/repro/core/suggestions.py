@@ -1,0 +1,185 @@
+"""Suggesting stronger variants of a weak password.
+
+The paper credits the PCFG-based PSM of Houshmand & Aggarwal (ACSAC
+2012) with a distinctive capability: when a user's password falls
+below the allowed threshold, the meter "can suggest better password
+candidates" — small modifications the user can remember that push the
+password out of the attacker's early guess space.
+
+This module implements that capability on top of any meter.  The
+candidate space mirrors the transformation rules of the user survey
+(insert a digit/symbol, capitalize a letter, toggle a leet pair), but
+applied *against* the learned distribution: candidates are scored by
+the meter and only modifications that genuinely reduce the derivation
+probability qualify.  A beam search composes up to ``max_edits``
+single-character modifications, preferring the fewest edits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.policy import PasswordPolicy
+from repro.meters.base import Meter, probability_to_entropy
+from repro.util.leet import LEET_BY_LETTER, LEET_BY_SUBSTITUTE
+
+#: Characters considered for insertion; middle-of-password insertions
+#: are the survey's *least* popular placement — which is exactly what
+#: makes them effective against meters trained on survey behaviour.
+_INSERTION_CHARS = "0123456789!@#$%^&*_."
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One candidate replacement password."""
+
+    password: str
+    probability: float
+    edits: Tuple[str, ...]
+
+    @property
+    def entropy_bits(self) -> float:
+        return probability_to_entropy(self.probability)
+
+    @property
+    def edit_count(self) -> int:
+        return len(self.edits)
+
+
+def _single_edits(password: str) -> List[Tuple[str, str]]:
+    """All (variant, description) pairs one edit away."""
+    variants: List[Tuple[str, str]] = []
+    n = len(password)
+    for position in range(n + 1):
+        for ch in _INSERTION_CHARS:
+            variants.append((
+                password[:position] + ch + password[position:],
+                f"insert {ch!r} at position {position}",
+            ))
+    for position, ch in enumerate(password):
+        if ch.islower():
+            variants.append((
+                password[:position] + ch.upper()
+                + password[position + 1:],
+                f"capitalize position {position}",
+            ))
+        elif ch.isupper():
+            variants.append((
+                password[:position] + ch.lower()
+                + password[position + 1:],
+                f"lowercase position {position}",
+            ))
+        partner = LEET_BY_LETTER.get(ch) or LEET_BY_SUBSTITUTE.get(ch)
+        if partner is not None:
+            variants.append((
+                password[:position] + partner + password[position + 1:],
+                f"leet-toggle position {position} ({ch} -> {partner})",
+            ))
+    return variants
+
+
+def suggest_stronger(meter: Meter, password: str,
+                     target_bits: float = 20.0,
+                     max_suggestions: int = 5,
+                     max_edits: int = 2,
+                     beam_width: int = 40,
+                     policy: Optional[PasswordPolicy] = None,
+                     rng: Optional[random.Random] = None
+                     ) -> List[Suggestion]:
+    """Propose memorable, stronger variants of ``password``.
+
+    Args:
+        meter: the strength meter defining "stronger" (lower
+            probability / more bits under *this* meter).
+        password: the user's original choice.
+        target_bits: candidates must measure at least this many bits.
+        max_suggestions: how many qualifying candidates to return.
+        max_edits: maximum number of composed single-character edits.
+        beam_width: candidates kept per search depth.
+        policy: optional composition policy candidates must satisfy.
+        rng: tie-breaking shuffle source (seeded for reproducibility;
+            defaults to a fixed seed so suggestions are deterministic).
+
+    Returns:
+        Qualifying suggestions sorted by (edit count, probability) —
+        the smallest memorable change first.  Empty when even
+        ``max_edits`` edits cannot reach the target.
+
+    >>> from repro.meters.nist import NISTMeter
+    >>> out = suggest_stronger(NISTMeter(), "abcdef", target_bits=15.0)
+    >>> all(s.entropy_bits >= 15.0 for s in out)
+    True
+    """
+    if not password:
+        raise ValueError("cannot improve an empty password")
+    if target_bits <= 0:
+        raise ValueError("target_bits must be positive")
+    if max_edits < 1:
+        raise ValueError("max_edits must be >= 1")
+    rng = rng or random.Random(0)
+    target_probability = 2.0 ** -target_bits
+
+    qualifying: List[Suggestion] = []
+    seen: Set[str] = {password}
+    # Beam of (variant, edits) to expand at the next depth.
+    beam: List[Tuple[str, Tuple[str, ...]]] = [(password, ())]
+
+    for _ in range(max_edits):
+        scored: List[Tuple[float, str, Tuple[str, ...]]] = []
+        for current, edits in beam:
+            candidates = _single_edits(current)
+            rng.shuffle(candidates)
+            for variant, description in candidates:
+                if variant in seen:
+                    continue
+                seen.add(variant)
+                if policy is not None and not policy.is_allowed(variant):
+                    continue
+                probability = meter.probability(variant)
+                trail = edits + (description,)
+                if probability <= target_probability:
+                    qualifying.append(
+                        Suggestion(variant, probability, trail)
+                    )
+                else:
+                    scored.append((probability, variant, trail))
+        if len(qualifying) >= max_suggestions:
+            break
+        # Expand the strongest not-yet-qualifying candidates.
+        scored.sort(key=lambda item: item[0])
+        beam = [
+            (variant, trail)
+            for _, variant, trail in scored[:beam_width]
+        ]
+        if not beam:
+            break
+
+    qualifying.sort(key=lambda s: (s.edit_count, s.probability))
+    return qualifying[:max_suggestions]
+
+
+def _bits_text(bits: float) -> str:
+    """Render entropy; infinity means "outside the modelled guess
+    space" (a probabilistic meter assigns 0 to underivable strings)."""
+    if bits == float("inf"):
+        return "not in modelled guess space"
+    return f"{bits:.1f} bits"
+
+
+def improvement_report(meter: Meter, password: str,
+                       suggestions: Sequence[Suggestion]) -> List[str]:
+    """Human-readable lines for a registration UI."""
+    lines = [
+        f"original  : {password!r} ({_bits_text(meter.entropy(password))})"
+    ]
+    for suggestion in suggestions:
+        lines.append(
+            f"suggested : {suggestion.password!r} "
+            f"({_bits_text(suggestion.entropy_bits)}; "
+            f"{', '.join(suggestion.edits)})"
+        )
+    if not suggestions:
+        lines.append("suggested : (no qualifying variant found)")
+    return lines

@@ -1,0 +1,56 @@
+"""Password corpora: containers, loaders, profiles and synthesis.
+
+* :mod:`~repro.datasets.corpus` — :class:`PasswordCorpus`, the
+  multiset container with splits (the paper's 1/4-1/4 methodology).
+* :mod:`~repro.datasets.loaders` — plain and ``count password`` file
+  formats, so real leaked lists can be dropped in when available.
+* :mod:`~repro.datasets.profiles` — the published statistics of the 11
+  corpora (Tables VII-X), used both to calibrate synthesis and as the
+  paper-side numbers in benchmark output.
+* :mod:`~repro.datasets.synthetic` — the survey-grounded generator
+  that replaces the (offline-unavailable) leaked lists; see DESIGN.md
+  §4 for the substitution argument.
+* :mod:`~repro.datasets.stats` — top-k, composition, length and
+  overlap statistics (Tables VIII-X, Fig. 12).
+* :mod:`~repro.datasets.zipf` — frequency-distribution analysis:
+  Zipf fits, counts-of-counts, and the ideal meter's ``f_pw >= 4``
+  coverage bound (Sec. II-B / V-D).
+"""
+
+from repro.datasets.corpus import PasswordCorpus
+from repro.datasets.loaders import load_corpus, save_corpus
+from repro.datasets.profiles import DatasetProfile, PROFILES, profile
+from repro.datasets.synthetic import SyntheticEcosystem, generate_corpus
+from repro.datasets.stats import (
+    top_k_table,
+    composition_table,
+    length_table,
+    overlap_fraction,
+    overlap_curve,
+)
+from repro.datasets.zipf import (
+    ZipfFit,
+    fit_zipf,
+    frequency_spectrum,
+    ideal_meter_coverage,
+)
+
+__all__ = [
+    "ZipfFit",
+    "fit_zipf",
+    "frequency_spectrum",
+    "ideal_meter_coverage",
+    "PasswordCorpus",
+    "load_corpus",
+    "save_corpus",
+    "DatasetProfile",
+    "PROFILES",
+    "profile",
+    "SyntheticEcosystem",
+    "generate_corpus",
+    "top_k_table",
+    "composition_table",
+    "length_table",
+    "overlap_fraction",
+    "overlap_curve",
+]

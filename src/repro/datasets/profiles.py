@@ -1,0 +1,259 @@
+"""Published statistics of the 11 password datasets (Tables VII-X).
+
+Every number here is transcribed from the paper:
+
+* Table VII — service, location, language, unique/total counts;
+* Table VIII — the top-10 most popular passwords and the share of the
+  dataset they cover;
+* Table IX — character-composition fractions (14 regex classes);
+* Table X — length distribution (buckets 1-5, 6, ..., 14, 15+).
+
+Profiles serve two roles: they calibrate the synthetic corpus
+generator, and they are the paper-side columns that benchmark output
+prints next to the measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+#: Table IX column order (regex keys match
+#: :data:`repro.util.charclasses.COMPOSITION_PATTERNS`).
+COMPOSITION_COLUMNS: Sequence[str] = (
+    "^[a-z]+$", "[a-z]", "^[A-Z]+$", "[A-Z]", "^[A-Za-z]+$", "[a-zA-Z]",
+    "^[0-9]+$", "[0-9]", "symbol only", "^[a-zA-Z0-9]+$",
+    "^[0-9]+[a-z]+$", "^[a-zA-Z]+[0-9]+$", "^[0-9]+[a-zA-Z]+$", "^[a-z]+1$",
+)
+
+#: Table X bucket order.
+LENGTH_BUCKETS: Sequence[str] = (
+    "1-5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15+",
+)
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """One dataset's published statistics."""
+
+    name: str
+    service: str
+    location: str
+    language: str
+    unique_passwords: int
+    total_passwords: int
+    top10: Tuple[str, ...]
+    top10_share: float
+    composition: Dict[str, float]          # Table IX, fractions
+    length_distribution: Dict[str, float]  # Table X, fractions
+    #: Paper notes on password policy (affects synthesis constraints).
+    min_length: int = 1
+    max_length: int = 64
+
+    @property
+    def duplication_factor(self) -> float:
+        """Average copies per distinct password."""
+        return self.total_passwords / self.unique_passwords
+
+
+def _composition(values: Sequence[float]) -> Dict[str, float]:
+    if len(values) != len(COMPOSITION_COLUMNS):
+        raise ValueError("composition row has wrong arity")
+    return {
+        column: value / 100.0
+        for column, value in zip(COMPOSITION_COLUMNS, values)
+    }
+
+
+def _lengths(values: Sequence[float]) -> Dict[str, float]:
+    if len(values) != len(LENGTH_BUCKETS):
+        raise ValueError("length row has wrong arity")
+    return {
+        bucket: value / 100.0
+        for bucket, value in zip(LENGTH_BUCKETS, values)
+    }
+
+
+PROFILES: Dict[str, DatasetProfile] = {
+    "tianya": DatasetProfile(
+        name="tianya", service="Social forum", location="China",
+        language="Chinese",
+        unique_passwords=12_898_437, total_passwords=30_901_241,
+        top10=("123456", "111111", "000000", "123456789", "123123",
+               "123321", "5201314", "12345678", "666666", "111222tianya"),
+        top10_share=0.0743,
+        composition=_composition((9.91, 34.63, 0.18, 2.96, 10.24, 35.66,
+                                  63.77, 89.49, 0.03, 98.08, 4.12, 15.73,
+                                  4.39, 0.12)),
+        length_distribution=_lengths((1.79, 33.62, 13.95, 18.08, 9.68,
+                                      10.28, 5.59, 2.90, 1.45, 1.33, 1.34)),
+    ),
+    "dodonew": DatasetProfile(
+        name="dodonew", service="Gaming&E-commerce", location="China",
+        language="Chinese",
+        unique_passwords=10_135_260, total_passwords=16_258_891,
+        top10=("123456", "a123456", "123456789", "111111", "5201314",
+               "123123", "a321654", "12345", "000000", "123456a"),
+        top10_share=0.0328,
+        composition=_composition((10.30, 66.32, 0.30, 3.67, 10.92, 69.05,
+                                  30.76, 88.52, 0.02, 98.33, 7.55, 45.74,
+                                  7.93, 1.40)),
+        length_distribution=_lengths((2.46, 12.31, 15.87, 20.86, 22.89,
+                                      16.37, 5.21, 1.76, 0.89, 0.56, 0.83)),
+    ),
+    "csdn": DatasetProfile(
+        name="csdn", service="Programmer forum", location="China",
+        language="Chinese",
+        unique_passwords=4_037_605, total_passwords=6_428_277,
+        top10=("123456789", "12345678", "11111111", "dearbook", "00000000",
+               "123123123", "1234567890", "88888888", "111111111",
+               "147258369"),
+        top10_share=0.1044,
+        composition=_composition((11.64, 51.39, 0.47, 4.57, 12.35, 54.33,
+                                  45.01, 87.10, 0.03, 96.31, 5.88, 28.45,
+                                  6.46, 0.24)),
+        length_distribution=_lengths((0.63, 1.29, 0.26, 36.38, 24.15,
+                                      14.48, 9.78, 5.75, 2.61, 2.41, 2.26)),
+        min_length=8,  # the paper notes CSDN's length >= 8 policy
+    ),
+    "zhenai": DatasetProfile(
+        name="zhenai", service="Dating site", location="China",
+        language="Chinese",
+        unique_passwords=3_521_764, total_passwords=5_260_229,
+        top10=("123456", "123456789", "111111", "000000", "5201314",
+               "123123", "1314520", "123321", "666666", "1234567890"),
+        top10_share=0.0746,
+        composition=_composition((6.41, 37.33, 0.24, 3.40, 6.74, 39.54,
+                                  59.52, 92.87, 0.02, 95.79, 5.24, 21.09,
+                                  5.69, 0.08)),
+        length_distribution=_lengths((0.02, 23.84, 11.97, 13.51, 13.76,
+                                      9.13, 12.46, 4.96, 3.06, 2.95, 4.36)),
+        min_length=6,
+    ),
+    "weibo": DatasetProfile(
+        name="weibo", service="Social forum", location="China",
+        language="Chinese",
+        unique_passwords=2_828_618, total_passwords=4_730_662,
+        top10=("123456", "123456789", "111111", "0", "123123", "5201314",
+               "12345", "12345678", "123", "123321"),
+        top10_share=0.0717,
+        composition=_composition((19.07, 44.77, 0.64, 3.66, 20.55, 46.71,
+                                  53.04, 78.78, 0.06, 97.79, 2.80, 18.74,
+                                  2.91, 1.24)),
+        length_distribution=_lengths((6.64, 25.36, 18.18, 20.24, 12.05,
+                                      7.37, 6.80, 1.44, 0.75, 0.49, 0.67)),
+    ),
+    "rockyou": DatasetProfile(
+        name="rockyou", service="Social forum", location="USA",
+        language="English",
+        unique_passwords=14_326_970, total_passwords=32_581_870,
+        top10=("123456", "12345", "123456789", "password", "iloveyou",
+               "princess", "1234567", "rockyou", "12345678", "abc123"),
+        top10_share=0.0205,
+        composition=_composition((41.71, 80.58, 1.50, 5.94, 44.07, 83.89,
+                                  15.94, 54.04, 0.02, 96.25, 2.54, 30.18,
+                                  2.75, 4.55)),
+        length_distribution=_lengths((4.31, 26.05, 19.29, 19.98, 12.12,
+                                      9.06, 3.57, 2.10, 1.32, 0.86, 1.33)),
+    ),
+    "battlefield": DatasetProfile(
+        name="battlefield", service="Game site", location="USA",
+        language="English",
+        unique_passwords=417_453, total_passwords=542_386,
+        top10=("123456", "password", "qwerty", "123456789", "starwars",
+               "killer", "12345678", "dragon", "battlefield", "123123"),
+        top10_share=0.0114,
+        composition=_composition((32.11, 89.71, 0.29, 9.60, 34.01, 90.69,
+                                  9.23, 65.49, 0.01, 98.06, 3.05, 39.58,
+                                  3.39, 5.08)),
+        length_distribution=_lengths((0.00, 20.29, 14.67, 28.75, 14.91,
+                                      10.25, 5.02, 3.12, 1.40, 0.79, 0.79)),
+        min_length=6,
+    ),
+    "yahoo": DatasetProfile(
+        name="yahoo", service="Web portal", location="USA",
+        language="English",
+        unique_passwords=342_510, total_passwords=442_834,
+        top10=("123456", "password", "welcome", "ninja", "abc123",
+               "123456789", "12345678", "sunshine", "princess", "qwerty"),
+        top10_share=0.0101,
+        composition=_composition((33.09, 92.83, 0.40, 8.51, 34.64, 94.06,
+                                  5.89, 64.74, 0.00, 97.15, 5.31, 41.85,
+                                  5.64, 4.80)),
+        length_distribution=_lengths((1.93, 17.98, 14.82, 26.90, 14.90,
+                                      12.37, 4.79, 4.91, 0.60, 0.34, 0.47)),
+    ),
+    "phpbb": DatasetProfile(
+        name="phpbb", service="Programmer forum", location="USA",
+        language="English",
+        unique_passwords=184_341, total_passwords=255_373,
+        top10=("123456", "password", "phpbb", "qwerty", "12345",
+               "12345678", "letmein", "111111", "1234", "123456789"),
+        top10_share=0.0279,
+        composition=_composition((50.18, 86.18, 0.74, 7.70, 53.07, 87.83,
+                                  12.06, 46.14, 0.03, 98.34, 2.03, 20.94,
+                                  2.35, 2.33)),
+        length_distribution=_lengths((9.56, 27.22, 17.69, 27.20, 9.09,
+                                      5.29, 2.08, 1.05, 0.43, 0.21, 0.18)),
+    ),
+    "singles": DatasetProfile(
+        name="singles", service="Christian dating", location="USA",
+        language="English",
+        unique_passwords=12_233, total_passwords=16_248,
+        top10=("123456", "jesus", "password", "12345678", "christ", "love",
+               "princess", "jesus1", "sunshine", "1234567"),
+        top10_share=0.0340,
+        composition=_composition((60.21, 87.84, 1.92, 8.14, 65.82, 90.42,
+                                  9.58, 34.06, 0.00, 99.79, 1.77, 19.68,
+                                  1.92, 2.73)),
+        length_distribution=_lengths((13.10, 32.05, 23.20, 31.65, 0.0,
+                                      0.0, 0.0, 0.0, 0.0, 0.0, 0.0)),
+        max_length=8,  # the site rejects passwords of length >= 9
+    ),
+    "faithwriters": DatasetProfile(
+        name="faithwriters", service="Christian writing", location="USA",
+        language="English",
+        unique_passwords=8_346, total_passwords=9_708,
+        top10=("123456", "writer", "jesus1", "christ", "blessed", "john316",
+               "jesuschrist", "password", "heaven", "faithwriters"),
+        top10_share=0.0217,
+        composition=_composition((54.37, 91.74, 1.16, 8.84, 58.98, 93.64,
+                                  6.36, 40.88, 0.00, 99.52, 2.37, 25.45,
+                                  2.73, 4.13)),
+        length_distribution=_lengths((1.17, 31.97, 20.95, 22.71, 10.35,
+                                      5.98, 3.24, 1.87, 0.83, 0.32, 0.58)),
+    ),
+}
+
+#: Table VII row order.
+DATASET_ORDER: Sequence[str] = (
+    "tianya", "dodonew", "csdn", "zhenai", "weibo", "rockyou",
+    "battlefield", "yahoo", "phpbb", "singles", "faithwriters",
+)
+
+
+def profile(name: str) -> DatasetProfile:
+    """Look up a profile by (case-insensitive) dataset name.
+
+    >>> profile("CSDN").min_length
+    8
+    """
+    key = name.lower()
+    if key not in PROFILES:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {', '.join(DATASET_ORDER)}"
+        )
+    return PROFILES[key]
+
+
+def length_bucket(length: int) -> str:
+    """Table X bucket for a password length.
+
+    >>> length_bucket(3), length_bucket(9), length_bucket(20)
+    ('1-5', '9', '15+')
+    """
+    if length <= 5:
+        return "1-5"
+    if length >= 15:
+        return "15+"
+    return str(length)

@@ -1,0 +1,93 @@
+"""Corpus statistics reproducing Tables VIII-X and Fig. 12.
+
+All functions take a :class:`~repro.datasets.corpus.PasswordCorpus`
+and return plain dict/list structures that the benchmark harness
+formats next to the paper's published numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datasets.corpus import PasswordCorpus
+from repro.datasets.profiles import LENGTH_BUCKETS, length_bucket
+from repro.util.charclasses import COMPOSITION_PATTERNS
+
+
+def top_k_table(corpus: PasswordCorpus, k: int = 10
+                ) -> Tuple[List[Tuple[str, int]], float]:
+    """Top-k passwords and their aggregate share (Table VIII).
+
+    >>> corpus = PasswordCorpus(["a", "a", "a", "b", "c"])
+    >>> table, share = top_k_table(corpus, k=1)
+    >>> table, round(share, 2)
+    ([('a', 3)], 0.6)
+    """
+    table = corpus.most_common(k)
+    share = sum(count for _, count in table) / corpus.total
+    return table, share
+
+
+def composition_table(corpus: PasswordCorpus) -> Dict[str, float]:
+    """Fraction of entries in each Table-IX composition class.
+
+    Counts are weighted by multiplicity, as the paper's percentages
+    are over all (non-unique) passwords.
+    """
+    totals = {name: 0 for name in COMPOSITION_PATTERNS}
+    for password, count in corpus.items():
+        for name, pattern in COMPOSITION_PATTERNS.items():
+            if pattern.search(password):
+                totals[name] += count
+    return {
+        name: totals[name] / corpus.total for name in COMPOSITION_PATTERNS
+    }
+
+
+def length_table(corpus: PasswordCorpus) -> Dict[str, float]:
+    """Fraction of entries per Table-X length bucket."""
+    totals = {bucket: 0 for bucket in LENGTH_BUCKETS}
+    for password, count in corpus.items():
+        totals[length_bucket(len(password))] += count
+    return {
+        bucket: totals[bucket] / corpus.total for bucket in LENGTH_BUCKETS
+    }
+
+
+def overlap_fraction(first: PasswordCorpus, second: PasswordCorpus,
+                     k: int = 0) -> float:
+    """Fraction of ``first``'s passwords also present in ``second``.
+
+    With ``k > 0`` the comparison is restricted to each corpus's top-k
+    lists (Fig. 12 plots the overlap at varied thresholds); with
+    ``k == 0`` all unique passwords are compared.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k:
+        ours = {password for password, _ in first.most_common(k)}
+        theirs = {password for password, _ in second.most_common(k)}
+    else:
+        ours = set(first.unique_passwords())
+        theirs = set(second.unique_passwords())
+    if not ours:
+        return 0.0
+    return len(ours & theirs) / len(ours)
+
+
+def overlap_curve(first: PasswordCorpus, second: PasswordCorpus,
+                  thresholds: Sequence[int]) -> List[Tuple[int, float]]:
+    """Overlap fraction at each top-k threshold (one Fig. 12 series)."""
+    return [(k, overlap_fraction(first, second, k=k)) for k in thresholds]
+
+
+def summary_row(corpus: PasswordCorpus) -> Dict[str, object]:
+    """One Table-VII-style row for a corpus."""
+    return {
+        "dataset": corpus.name,
+        "service": corpus.service,
+        "location": corpus.location,
+        "language": corpus.language,
+        "unique": corpus.unique,
+        "total": corpus.total,
+    }

@@ -1,0 +1,59 @@
+"""The paper's evaluation harness.
+
+* :mod:`~repro.experiments.taxonomy` — Table I (guessing-attack
+  taxonomy, the security model).
+* :mod:`~repro.experiments.scenarios` — Table XI's training/testing
+  scenario matrix.
+* :mod:`~repro.experiments.runner` — trains all six meters under a
+  scenario and computes the top-k correlation curves of Figs. 9/13.
+* :mod:`~repro.experiments.weak_passwords` — Table II's guess numbers
+  for typical weak passwords.
+* :mod:`~repro.experiments.reporting` — plain-text tables/series.
+"""
+
+from repro.experiments.taxonomy import GUESSING_ATTACKS, AttackVector
+from repro.experiments.scenarios import (
+    Scenario,
+    ALL_SCENARIOS,
+    IDEAL_SCENARIOS,
+    REAL_SCENARIOS,
+    CROSS_LANGUAGE_SCENARIOS,
+    scenario,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    MeterCurve,
+    build_meters,
+    run_scenario,
+    evaluate_meters,
+)
+from repro.experiments.weak_passwords import weak_password_table
+from repro.experiments.reporting import (
+    format_table,
+    format_curves,
+    format_percent,
+    format_ranking,
+)
+
+__all__ = [
+    "GUESSING_ATTACKS",
+    "AttackVector",
+    "Scenario",
+    "ALL_SCENARIOS",
+    "IDEAL_SCENARIOS",
+    "REAL_SCENARIOS",
+    "CROSS_LANGUAGE_SCENARIOS",
+    "scenario",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "MeterCurve",
+    "build_meters",
+    "run_scenario",
+    "evaluate_meters",
+    "weak_password_table",
+    "format_table",
+    "format_curves",
+    "format_percent",
+    "format_ranking",
+]

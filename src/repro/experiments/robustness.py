@@ -1,0 +1,144 @@
+"""Multi-seed robustness of scenario results.
+
+The paper's evaluation runs once per scenario on fixed real corpora;
+a synthetic reproduction must additionally show its conclusions are
+not seed artefacts.  This module repeats a scenario across ecosystem
+seeds and aggregates the per-meter ranks, so benches can assert
+claims like "fuzzyPSM's mean rank across seeds is top-2" instead of
+trusting a single draw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.synthetic import SyntheticEcosystem
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_scenario,
+)
+from repro.experiments.scenarios import Scenario
+
+
+@dataclass(frozen=True)
+class MeterRobustness:
+    """One meter's rank statistics across seeds (0 = best)."""
+
+    meter: str
+    ranks: Tuple[int, ...]
+    mean_taus: Tuple[float, ...]
+
+    @property
+    def mean_rank(self) -> float:
+        return sum(self.ranks) / len(self.ranks)
+
+    @property
+    def rank_stddev(self) -> float:
+        mean = self.mean_rank
+        return math.sqrt(
+            sum((rank - mean) ** 2 for rank in self.ranks)
+            / len(self.ranks)
+        )
+
+    @property
+    def mean_tau(self) -> float:
+        return sum(self.mean_taus) / len(self.mean_taus)
+
+    @property
+    def wins(self) -> int:
+        """Seeds where the meter ranked first."""
+        return sum(1 for rank in self.ranks if rank == 0)
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    """A scenario's aggregate over several seeds."""
+
+    scenario: Scenario
+    seeds: Tuple[int, ...]
+    meters: Tuple[MeterRobustness, ...]
+
+    def meter(self, name: str) -> MeterRobustness:
+        for entry in self.meters:
+            if entry.meter == name:
+                return entry
+        raise KeyError(f"no robustness data for meter {name!r}")
+
+    def ranking(self) -> List[str]:
+        """Meters by mean rank across seeds, best first."""
+        return [
+            entry.meter
+            for entry in sorted(self.meters, key=lambda m: m.mean_rank)
+        ]
+
+    def rows(self) -> List[List[str]]:
+        """Table rows for reporting: meter, mean rank +/- std, wins."""
+        return [
+            [
+                entry.meter,
+                f"{entry.mean_rank:.2f} +/- {entry.rank_stddev:.2f}",
+                f"{entry.mean_tau:+.3f}",
+                f"{entry.wins}/{len(self.seeds)}",
+            ]
+            for entry in sorted(self.meters, key=lambda m: m.mean_rank)
+        ]
+
+
+def run_scenario_across_seeds(
+    scenario: Scenario,
+    seeds: Sequence[int],
+    config: Optional[ExperimentConfig] = None,
+    min_frequency: int = 4,
+    population: int = 100_000,
+    result_hook: Optional[Callable[[int, ExperimentResult], None]] = None,
+) -> RobustnessResult:
+    """Run one scenario once per seed and aggregate the rankings.
+
+    Each seed gets its own :class:`SyntheticEcosystem` — a fresh user
+    population and fresh corpora — so the spread measures everything
+    the synthetic substrate randomises.
+
+    Args:
+        result_hook: optional callback receiving each seed's raw
+            :class:`ExperimentResult` (for logging/inspection).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    base_config = config or ExperimentConfig()
+    ranks: Dict[str, List[int]] = {}
+    taus: Dict[str, List[float]] = {}
+    for seed in seeds:
+        seed_config = ExperimentConfig(
+            corpus_size=base_config.corpus_size,
+            base_corpus_size=base_config.base_corpus_size,
+            markov_order=base_config.markov_order,
+            markov_smoothing=base_config.markov_smoothing,
+            seed=seed,
+            meters=base_config.meters,
+        )
+        ecosystem = SyntheticEcosystem(seed=seed, population=population)
+        result = run_scenario(
+            scenario, ecosystem=ecosystem, config=seed_config,
+            min_frequency=min_frequency,
+        )
+        if result_hook is not None:
+            result_hook(seed, result)
+        for position, meter in enumerate(result.ranking()):
+            ranks.setdefault(meter, []).append(position)
+            taus.setdefault(meter, []).append(
+                result.curve(meter).mean
+            )
+    meters = tuple(
+        MeterRobustness(
+            meter=name,
+            ranks=tuple(ranks[name]),
+            mean_taus=tuple(taus[name]),
+        )
+        for name in sorted(ranks)
+    )
+    return RobustnessResult(
+        scenario=scenario, seeds=tuple(seeds), meters=meters
+    )

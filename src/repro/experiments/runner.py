@@ -1,0 +1,228 @@
+"""Runs a Table-XI scenario end to end: data, meters, curves.
+
+The pipeline mirrors Sec. V-C/V-D:
+
+1. Generate (or accept) the corpora involved in a scenario.
+2. **ideal case** — split the test dataset into four equal parts,
+   train on part 1, measure part 4.  **real / cross** — train on the
+   similar-service leak plus 1/4 of the test set, measure the rest.
+3. Train all six meters on identical material (fuzzyPSM additionally
+   receives the language group's base dictionary).
+4. Rank the test set's unique passwords by the ideal meter and compute
+   the top-k Kendall-tau (or Spearman-rho) curves of Figs. 9/13.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.meter import FuzzyPSM, FuzzyPSMConfig
+from repro.datasets.corpus import PasswordCorpus
+from repro.datasets.synthetic import SyntheticEcosystem
+from repro.experiments.scenarios import Scenario
+from repro.meters.base import Meter
+from repro.meters.ideal import IdealMeter
+from repro.meters.keepsm import KeePSMMeter
+from repro.meters.markov import MarkovMeter, Smoothing
+from repro.meters.nist import NISTMeter
+from repro.meters.pcfg import PCFGMeter
+from repro.meters.zxcvbn import ZxcvbnMeter
+from repro.meters.zxcvbn.frequency_lists import COMMON_PASSWORDS
+from repro.metrics.curves import CurvePoint, correlation_curve, log_grid
+from repro.metrics.rank import kendall_tau, spearman_rho
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs of an experiment run (defaults = laptop-scale repro)."""
+
+    corpus_size: int = 20_000          # entries per generated corpus
+    # The base dictionary must dwarf the training corpus, as in the
+    # paper (Rockyou/Tianya are the largest leaks): fuzzyPSM's edge
+    # comes from base-dictionary coverage of reused passwords.
+    base_corpus_size: int = 120_000
+    markov_order: int = 3
+    markov_smoothing: Smoothing = Smoothing.BACKOFF
+    seed: int = 0
+    meters: Tuple[str, ...] = (
+        "fuzzyPSM", "PCFG", "Markov", "Zxcvbn", "KeePSM", "NIST",
+    )
+
+
+@dataclass(frozen=True)
+class MeterCurve:
+    """One meter's top-k correlation curve."""
+
+    meter: str
+    points: Tuple[CurvePoint, ...]
+
+    @property
+    def final(self) -> float:
+        return self.points[-1].value
+
+    @property
+    def mean(self) -> float:
+        return sum(p.value for p in self.points) / len(self.points)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """All curves of one scenario run."""
+
+    scenario: Scenario
+    curves: Tuple[MeterCurve, ...]
+    test_unique: int
+    metric_name: str
+
+    def curve(self, meter: str) -> MeterCurve:
+        for curve in self.curves:
+            if curve.meter == meter:
+                return curve
+        raise KeyError(f"no curve for meter {meter!r}")
+
+    def ranking(self) -> List[str]:
+        """Meters ordered by mean correlation, best first."""
+        return [
+            curve.meter
+            for curve in sorted(self.curves, key=lambda c: -c.mean)
+        ]
+
+
+def build_meters(base_corpus: PasswordCorpus,
+                 training_corpus: PasswordCorpus,
+                 config: Optional[ExperimentConfig] = None) -> List[Meter]:
+    """Train the scenario's meter suite on identical material.
+
+    The machine-learning meters (fuzzyPSM, PCFG, Markov) train on the
+    full weighted training corpus; the rule-based meters receive the
+    head of the training distribution as their dictionary, which is
+    how a deployment would provision them.
+    """
+    config = config or ExperimentConfig()
+    training_items = list(training_corpus.items())
+    # The rule-based industry/standards meters are static: they ship
+    # with stock dictionaries and are NOT retrained per service (that
+    # inability to adapt is one of the paper's points).  Only the
+    # machine-learning meters see the training corpus.
+    meters: List[Meter] = []
+    for name in config.meters:
+        if name == "fuzzyPSM":
+            meters.append(
+                FuzzyPSM.train(
+                    base_dictionary=base_corpus.unique_passwords(),
+                    training=training_items,
+                )
+            )
+        elif name == "PCFG":
+            meters.append(PCFGMeter.train(training_items))
+        elif name == "Markov":
+            meters.append(
+                MarkovMeter.train(
+                    training_items,
+                    order=config.markov_order,
+                    smoothing=config.markov_smoothing,
+                )
+            )
+        elif name == "Zxcvbn":
+            meters.append(ZxcvbnMeter())
+        elif name == "KeePSM":
+            meters.append(KeePSMMeter(COMMON_PASSWORDS))
+        elif name == "NIST":
+            meters.append(NISTMeter(dictionary=COMMON_PASSWORDS))
+        else:
+            raise ValueError(f"unknown meter {name!r}")
+    return meters
+
+
+def evaluate_meters(meters: Sequence[Meter], test_corpus: PasswordCorpus,
+                    ks: Optional[Sequence[int]] = None,
+                    metric: Callable = kendall_tau,
+                    metric_name: str = "kendall",
+                    min_frequency: int = 1,
+                    ) -> Tuple[Tuple[MeterCurve, ...], int]:
+    """Top-k correlation curves of every meter against the ideal meter.
+
+    ``min_frequency`` restricts the ranked test list to passwords with
+    empirical frequency at least that value; the paper deems the ideal
+    meter meaningful only for ``f_pw >= 4`` (Sec. V-D), so the headline
+    comparisons use ``min_frequency=4``.
+    """
+    ideal = IdealMeter(test_corpus.counts())
+    passwords = [
+        pw
+        for pw, count in test_corpus.most_common()
+        if count >= min_frequency
+    ]
+    if len(passwords) < 2:
+        raise ValueError(
+            f"fewer than two test passwords with frequency >= {min_frequency}"
+        )
+    ideal_scores = [ideal.probability(pw) for pw in passwords]
+    curves = []
+    for meter in meters:
+        meter_scores = [meter.probability(pw) for pw in passwords]
+        points = correlation_curve(
+            ideal_scores, meter_scores, ks=ks, metric=metric
+        )
+        curves.append(MeterCurve(meter.name, tuple(points)))
+    return tuple(curves), len(passwords)
+
+
+def prepare_scenario_data(scenario: Scenario,
+                          ecosystem: SyntheticEcosystem,
+                          config: Optional[ExperimentConfig] = None,
+                          ) -> Tuple[PasswordCorpus, PasswordCorpus,
+                                     PasswordCorpus]:
+    """(base, training, testing) corpora for a scenario (Sec. V-C)."""
+    config = config or ExperimentConfig()
+    rng = random.Random(config.seed)
+    base = ecosystem.generate(
+        scenario.base_dataset, total=config.base_corpus_size,
+        seed=config.seed,
+    )
+    test_full = ecosystem.generate(
+        scenario.test_dataset, total=config.corpus_size, seed=config.seed + 1,
+    )
+    quarters = test_full.split([0.25, 0.25, 0.25, 0.25], rng)
+    if scenario.kind == "ideal":
+        return base, quarters[0], quarters[3]
+    leak = ecosystem.generate(
+        scenario.train_dataset, total=config.corpus_size, seed=config.seed + 2,
+    )
+    training = leak.merged_with(quarters[0], name=f"{leak.name}+quarter")
+    testing = quarters[1].merged_with(quarters[2]).merged_with(
+        quarters[3], name=f"{test_full.name}[rest]"
+    )
+    return base, training, testing
+
+
+def run_scenario(scenario: Scenario,
+                 ecosystem: Optional[SyntheticEcosystem] = None,
+                 config: Optional[ExperimentConfig] = None,
+                 ks: Optional[Sequence[int]] = None,
+                 metric: Callable = kendall_tau,
+                 metric_name: str = "kendall",
+                 min_frequency: int = 1) -> ExperimentResult:
+    """Run one scenario and return the correlation curves.
+
+    >>> from repro.experiments.scenarios import scenario as get  # doctest: +SKIP
+    >>> result = run_scenario(get("ideal-csdn"))                 # doctest: +SKIP
+    """
+    config = config or ExperimentConfig()
+    ecosystem = ecosystem or SyntheticEcosystem(seed=config.seed)
+    base, training, testing = prepare_scenario_data(
+        scenario, ecosystem, config
+    )
+    meters = build_meters(base, training, config)
+    curves, test_unique = evaluate_meters(
+        meters, testing, ks=ks, metric=metric, metric_name=metric_name,
+        min_frequency=min_frequency,
+    )
+    return ExperimentResult(
+        scenario=scenario,
+        curves=curves,
+        test_unique=test_unique,
+        metric_name=metric_name,
+    )

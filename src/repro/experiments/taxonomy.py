@@ -1,0 +1,57 @@
+"""Table I — the guessing-attack taxonomy underlying the security model.
+
+The paper classifies guessing attacks along two axes (personal data
+used? interacts with the server?) and notes the practical constraint
+and guess budget of each; only trawling attacks are in scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class AttackVector:
+    """One row of Table I."""
+
+    family: str                 # "Trawling" or "Targeted"
+    channel: str                # "Online" or "Offline"
+    uses_personal_data: bool
+    interacts_with_server: bool
+    major_constraint: str
+    guess_budget: str           # e.g. "< 10^4"
+    considered_in_paper: bool
+
+
+GUESSING_ATTACKS: Sequence[AttackVector] = (
+    AttackVector(
+        family="Trawling", channel="Online",
+        uses_personal_data=False, interacts_with_server=True,
+        major_constraint="Detection, lockout",
+        guess_budget="< 10^4", considered_in_paper=True,
+    ),
+    AttackVector(
+        family="Trawling", channel="Offline",
+        uses_personal_data=False, interacts_with_server=False,
+        major_constraint="Attacker power",
+        guess_budget="> 10^9", considered_in_paper=True,
+    ),
+    AttackVector(
+        family="Targeted", channel="Online",
+        uses_personal_data=True, interacts_with_server=True,
+        major_constraint="Detection, lockout",
+        guess_budget="< 10^4", considered_in_paper=False,
+    ),
+    AttackVector(
+        family="Targeted", channel="Offline",
+        uses_personal_data=True, interacts_with_server=False,
+        major_constraint="Attacker power",
+        guess_budget="> 10^9", considered_in_paper=False,
+    ),
+)
+
+
+def online_guess_budget() -> int:
+    """The online-attack horizon used by bench checkpoints (10^4)."""
+    return 10_000

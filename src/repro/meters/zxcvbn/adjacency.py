@@ -1,0 +1,130 @@
+"""Keyboard adjacency graphs for the spatial matcher.
+
+Graphs are derived from layout definitions rather than vendored data
+files.  Each key token is ``"<unshifted><shifted>"`` (e.g. ``"2@"``).
+Key centres get geometric coordinates — slanted keyboards shift every
+row half a key to the right, like a physical keyboard — and two keys
+are adjacent when their centres are one key apart.  A slanted key thus
+has up to six neighbours, an aligned keypad key up to eight.
+
+The spatial scorer needs, per graph, the number of starting positions
+(keys) and the average out-degree; both are precomputed here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: QWERTY rows; each row is shifted +0.5 key relative to the row above.
+QWERTY_ROWS: Sequence[Sequence[str]] = (
+    ("`~", "1!", "2@", "3#", "4$", "5%", "6^", "7&", "8*", "9(", "0)", "-_", "=+"),
+    ("qQ", "wW", "eE", "rR", "tT", "yY", "uU", "iI", "oO", "pP", "[{", "]}", "\\|"),
+    ("aA", "sS", "dD", "fF", "gG", "hH", "jJ", "kK", "lL", ";:", "'\""),
+    ("zZ", "xX", "cC", "vV", "bB", "nN", "mM", ",<", ".>", "/?"),
+)
+
+#: Numeric keypad; aligned grid with explicit column offsets.
+KEYPAD_ROWS: Sequence[Tuple[float, Sequence[str]]] = (
+    (1.0, ("/", "*", "-")),
+    (0.0, ("7", "8", "9", "+")),
+    (0.0, ("4", "5", "6")),
+    (0.0, ("1", "2", "3")),
+    (1.0, ("0", ".")),
+)
+
+
+class AdjacencyGraph:
+    """Maps each character to the neighbouring key tokens.
+
+    Neighbour lists use fixed direction slots (sorted by relative
+    position), so the spatial matcher can detect *turns* by comparing
+    direction indices between successive steps.
+    """
+
+    def __init__(self, name: str,
+                 keys_with_coordinates: Sequence[Tuple[str, float, float]],
+                 slanted: bool) -> None:
+        self.name = name
+        self.slanted = slanted
+        positions = {
+            (x, y): token for token, x, y in keys_with_coordinates
+        }
+        if slanted:
+            offsets: Tuple[Tuple[float, float], ...] = (
+                (-1.0, 0.0), (1.0, 0.0),
+                (-0.5, -1.0), (0.5, -1.0),
+                (-0.5, 1.0), (0.5, 1.0),
+            )
+        else:
+            offsets = (
+                (-1.0, 0.0), (1.0, 0.0), (0.0, -1.0), (0.0, 1.0),
+                (-1.0, -1.0), (1.0, -1.0), (-1.0, 1.0), (1.0, 1.0),
+            )
+        self._adjacency: Dict[str, List[Optional[str]]] = {}
+        self._shifted: Dict[str, bool] = {}
+        for (x, y), token in positions.items():
+            neighbours = [
+                positions.get((x + dx, y + dy)) for dx, dy in offsets
+            ]
+            for index, ch in enumerate(token):
+                self._adjacency[ch] = neighbours
+                self._shifted[ch] = index == 1
+        degrees = [
+            sum(1 for n in neighbours if n is not None)
+            for neighbours in (
+                self._adjacency[token[0]] for token in positions.values()
+            )
+        ]
+        #: average out-degree over keys (zxcvbn's ``d``).
+        self.average_degree = sum(degrees) / len(degrees) if degrees else 0.0
+        #: number of keys (zxcvbn's ``s``, starting positions).
+        self.starting_positions = len(positions)
+
+    # --- queries ---------------------------------------------------------
+
+    def __contains__(self, ch: object) -> bool:
+        return ch in self._adjacency
+
+    def neighbors(self, ch: str) -> List[Optional[str]]:
+        return self._adjacency.get(ch, [])
+
+    def adjacent(self, a: str, b: str) -> Optional[int]:
+        """Direction slot if the key of ``b`` neighbours the key of ``a``."""
+        for direction, token in enumerate(self.neighbors(a)):
+            if token is not None and b in token:
+                return direction
+        return None
+
+    def is_shifted(self, ch: str) -> bool:
+        """True when ``ch`` is the shifted engraving of its key."""
+        return self._shifted.get(ch, False)
+
+
+def _slanted_coordinates(rows: Sequence[Sequence[str]]
+                         ) -> List[Tuple[str, float, float]]:
+    keys = []
+    for y, row in enumerate(rows):
+        for column, token in enumerate(row):
+            keys.append((token, column + 0.5 * y, float(y)))
+    return keys
+
+
+def _aligned_coordinates(rows: Sequence[Tuple[float, Sequence[str]]]
+                         ) -> List[Tuple[str, float, float]]:
+    keys = []
+    for y, (offset, row) in enumerate(rows):
+        for column, token in enumerate(row):
+            keys.append((token, offset + column, float(y)))
+    return keys
+
+
+def default_graphs() -> Dict[str, AdjacencyGraph]:
+    """The standard graph set: QWERTY and the numeric keypad."""
+    return {
+        "qwerty": AdjacencyGraph(
+            "qwerty", _slanted_coordinates(QWERTY_ROWS), slanted=True
+        ),
+        "keypad": AdjacencyGraph(
+            "keypad", _aligned_coordinates(KEYPAD_ROWS), slanted=False
+        ),
+    }

@@ -1,0 +1,417 @@
+"""zxcvbn pattern matchers.
+
+Each matcher scans the password and emits :class:`Match` objects with
+inclusive start/end offsets ``i..j``.  The scorer later picks the
+minimum-entropy non-overlapping cover.  Matchers implemented (the 2012
+algorithm): dictionary, reverse-dictionary, l33t-dictionary, keyboard-
+spatial, repeat, sequence and date.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.meters.zxcvbn.adjacency import AdjacencyGraph, default_graphs
+
+#: zxcvbn's l33t substitution table: letter -> possible substitutes.
+L33T_TABLE: Dict[str, Sequence[str]] = {
+    "a": ("4", "@"),
+    "b": ("8",),
+    "c": ("(", "{", "[", "<"),
+    "e": ("3",),
+    "g": ("6", "9"),
+    "i": ("1", "!", "|"),
+    "l": ("1", "|", "7"),
+    "o": ("0",),
+    "s": ("$", "5"),
+    "t": ("+", "7"),
+    "x": ("%",),
+    "z": ("2",),
+}
+
+#: Sequence spaces for the sequence matcher.
+SEQUENCES = {
+    "lower": "abcdefghijklmnopqrstuvwxyz",
+    "upper": "ABCDEFGHIJKLMNOPQRSTUVWXYZ",
+    "digits": "0123456789",
+}
+
+
+@dataclass
+class Match:
+    """A pattern match over ``password[i..j]`` (inclusive)."""
+
+    pattern: str
+    i: int
+    j: int
+    token: str
+    # dictionary / l33t fields
+    matched_word: Optional[str] = None
+    rank: Optional[int] = None
+    dictionary_name: Optional[str] = None
+    reversed: bool = False
+    l33t: bool = False
+    substitutions: Dict[str, str] = field(default_factory=dict)
+    # spatial fields
+    graph: Optional[str] = None
+    turns: int = 0
+    shifted_count: int = 0
+    # sequence fields
+    sequence_name: Optional[str] = None
+    ascending: bool = True
+    # date fields
+    year: Optional[int] = None
+    separator: str = ""
+    # filled by the scorer
+    entropy: Optional[float] = None
+
+    @property
+    def length(self) -> int:
+        return self.j - self.i + 1
+
+
+class MatchCollector:
+    """Runs every matcher and aggregates the matches.
+
+    Args:
+        ranked_dictionaries: ``name -> (word -> 1-based rank)``.
+        graphs: keyboard adjacency graphs (defaults to qwerty+keypad).
+    """
+
+    def __init__(self, ranked_dictionaries: Dict[str, Dict[str, int]],
+                 graphs: Optional[Dict[str, AdjacencyGraph]] = None,
+                 max_l33t_variants: int = 64) -> None:
+        self._dictionaries = ranked_dictionaries
+        self._graphs = graphs if graphs is not None else default_graphs()
+        self._max_l33t_variants = max_l33t_variants
+
+    def all_matches(self, password: str) -> List[Match]:
+        matches: List[Match] = []
+        matches.extend(self.dictionary_match(password))
+        matches.extend(self.reverse_dictionary_match(password))
+        matches.extend(self.l33t_match(password))
+        matches.extend(self.spatial_match(password))
+        matches.extend(self.repeat_match(password))
+        matches.extend(self.sequence_match(password))
+        matches.extend(self.date_match(password))
+        matches.sort(key=lambda m: (m.i, m.j, m.pattern))
+        return matches
+
+    # --- dictionary ---------------------------------------------------
+
+    def dictionary_match(self, password: str,
+                         lowered: Optional[str] = None) -> List[Match]:
+        lowered = lowered if lowered is not None else password.lower()
+        matches = []
+        n = len(password)
+        for i in range(n):
+            for j in range(i, n):
+                piece = lowered[i:j + 1]
+                for name, table in self._dictionaries.items():
+                    rank = table.get(piece)
+                    if rank is not None:
+                        matches.append(
+                            Match(
+                                pattern="dictionary",
+                                i=i, j=j,
+                                token=password[i:j + 1],
+                                matched_word=piece,
+                                rank=rank,
+                                dictionary_name=name,
+                            )
+                        )
+        return matches
+
+    def reverse_dictionary_match(self, password: str) -> List[Match]:
+        reversed_password = password[::-1]
+        matches = []
+        n = len(password)
+        for match in self.dictionary_match(reversed_password):
+            if match.token.lower() == match.token.lower()[::-1]:
+                continue  # palindromes already found forwards
+            i = n - 1 - match.j
+            j = n - 1 - match.i
+            matches.append(
+                Match(
+                    pattern="dictionary",
+                    i=i, j=j,
+                    token=password[i:j + 1],
+                    matched_word=match.matched_word,
+                    rank=match.rank,
+                    dictionary_name=match.dictionary_name,
+                    reversed=True,
+                )
+            )
+        return matches
+
+    # --- l33t -----------------------------------------------------------
+
+    def _relevant_substitutions(self, password: str) -> Dict[str, List[str]]:
+        """letter -> substitutes of it that appear in the password."""
+        present = set(password)
+        table: Dict[str, List[str]] = {}
+        for letter, substitutes in L33T_TABLE.items():
+            found = [sub for sub in substitutes if sub in present]
+            if found:
+                table[letter] = found
+        return table
+
+    def _substitution_assignments(self, relevant: Dict[str, List[str]]
+                                  ) -> Iterable[Dict[str, str]]:
+        """Enumerate sub->letter assignments (each sub maps to one letter)."""
+        # Invert: substitute -> candidate letters.
+        by_sub: Dict[str, List[str]] = {}
+        for letter, subs in relevant.items():
+            for sub in subs:
+                by_sub.setdefault(sub, []).append(letter)
+        subs = sorted(by_sub)
+        pools = [by_sub[sub] for sub in subs]
+        count = 0
+        for assignment in itertools.product(*pools):
+            if count >= self._max_l33t_variants:
+                return
+            count += 1
+            yield dict(zip(subs, assignment))
+
+    def l33t_match(self, password: str) -> List[Match]:
+        matches = []
+        relevant = self._relevant_substitutions(password.lower())
+        if not relevant:
+            return matches
+        for assignment in self._substitution_assignments(relevant):
+            unleeted = "".join(
+                assignment.get(ch, ch) for ch in password.lower()
+            )
+            if unleeted == password.lower():
+                continue
+            for match in self.dictionary_match(password, lowered=unleeted):
+                token = password[match.i:match.j + 1]
+                used = {
+                    sub: letter
+                    for sub, letter in assignment.items()
+                    if sub in token.lower()
+                }
+                if not used:
+                    continue  # no substitution inside this token
+                matches.append(
+                    Match(
+                        pattern="dictionary",
+                        i=match.i, j=match.j,
+                        token=token,
+                        matched_word=match.matched_word,
+                        rank=match.rank,
+                        dictionary_name=match.dictionary_name,
+                        l33t=True,
+                        substitutions=used,
+                    )
+                )
+        # Deduplicate identical (i, j, word, subs) combinations.
+        unique = {}
+        for match in matches:
+            key = (match.i, match.j, match.matched_word,
+                   tuple(sorted(match.substitutions.items())))
+            if key not in unique or (match.rank or 0) < (unique[key].rank or 0):
+                unique[key] = match
+        return list(unique.values())
+
+    # --- spatial -----------------------------------------------------------
+
+    def spatial_match(self, password: str) -> List[Match]:
+        matches = []
+        for graph in self._graphs.values():
+            matches.extend(self._spatial_match_graph(password, graph))
+        return matches
+
+    def _spatial_match_graph(self, password: str,
+                             graph: AdjacencyGraph) -> List[Match]:
+        matches = []
+        i = 0
+        n = len(password)
+        while i < n - 1:
+            j = i + 1
+            last_direction: Optional[int] = None
+            turns = 0
+            shifted = 1 if graph.is_shifted(password[i]) else 0
+            while j < n:
+                direction = graph.adjacent(password[j - 1], password[j])
+                if direction is None:
+                    break
+                if direction != last_direction:
+                    turns += 1
+                    last_direction = direction
+                if graph.is_shifted(password[j]):
+                    shifted += 1
+                j += 1
+            if j - i >= 3:
+                matches.append(
+                    Match(
+                        pattern="spatial",
+                        i=i, j=j - 1,
+                        token=password[i:j],
+                        graph=graph.name,
+                        turns=turns,
+                        shifted_count=shifted,
+                    )
+                )
+                i = j
+            else:
+                i += 1
+        return matches
+
+    # --- repeat --------------------------------------------------------------
+
+    def repeat_match(self, password: str) -> List[Match]:
+        matches = []
+        for match in re.finditer(r"(.)\1{2,}", password):
+            matches.append(
+                Match(
+                    pattern="repeat",
+                    i=match.start(), j=match.end() - 1,
+                    token=match.group(0),
+                )
+            )
+        return matches
+
+    # --- sequence ---------------------------------------------------------------
+
+    def sequence_match(self, password: str) -> List[Match]:
+        matches = []
+        n = len(password)
+        i = 0
+        while i < n - 2:
+            matched = False
+            for name, space in SEQUENCES.items():
+                start = space.find(password[i])
+                if start == -1:
+                    continue
+                for direction in (1, -1):
+                    j = i
+                    position = start
+                    while (
+                        j + 1 < n
+                        and 0 <= position + direction < len(space)
+                        and password[j + 1] == space[position + direction]
+                    ):
+                        j += 1
+                        position += direction
+                    if j - i >= 2:
+                        matches.append(
+                            Match(
+                                pattern="sequence",
+                                i=i, j=j,
+                                token=password[i:j + 1],
+                                sequence_name=name,
+                                ascending=direction == 1,
+                            )
+                        )
+                        i = j
+                        matched = True
+                        break
+                if matched:
+                    break
+            i += 1
+        return matches
+
+    # --- date -------------------------------------------------------------------
+
+    _DATE_NO_SEPARATOR = re.compile(r"\d{4,8}")
+    _DATE_WITH_SEPARATOR = re.compile(
+        r"(\d{1,4})([\s/\\_.-])(\d{1,2})\2(\d{1,4})"
+    )
+
+    def date_match(self, password: str) -> List[Match]:
+        matches = []
+        for match in self._DATE_NO_SEPARATOR.finditer(password):
+            token = match.group(0)
+            date = _parse_date_digits(token)
+            if date is not None:
+                matches.append(
+                    Match(
+                        pattern="date",
+                        i=match.start(), j=match.end() - 1,
+                        token=token,
+                        year=date,
+                    )
+                )
+        for match in self._DATE_WITH_SEPARATOR.finditer(password):
+            first, separator, middle, last = match.groups()
+            date = _parse_date_parts(first, middle, last)
+            if date is not None:
+                matches.append(
+                    Match(
+                        pattern="date",
+                        i=match.start(), j=match.end() - 1,
+                        token=match.group(0),
+                        year=date,
+                        separator=separator,
+                    )
+                )
+        return matches
+
+
+def _valid_day_month(day: int, month: int) -> bool:
+    if 1 <= month <= 12 and 1 <= day <= 31:
+        return True
+    return False
+
+
+def _valid_year(year: int) -> bool:
+    return 1900 <= year <= 2029 or 0 <= year <= 99
+
+
+def _normalise_year(year: int) -> int:
+    if year < 100:
+        return 1900 + year if year > 29 else 2000 + year
+    return year
+
+
+def _parse_date_digits(token: str) -> Optional[int]:
+    """Try to read a separator-free digit run as day-month-year."""
+    length = len(token)
+    candidates = []
+    if length == 4:  # mdyy / ddyy are too ambiguous; treat as yyyy
+        year = int(token)
+        if 1900 <= year <= 2029:
+            candidates.append(year)
+    elif length == 6:  # ddmmyy / mmddyy / yymmdd
+        splits = (
+            (token[:2], token[2:4], token[4:]),
+            (token[2:4], token[:2], token[4:]),
+            (token[4:], token[2:4], token[:2]),
+        )
+        for day, month, year in splits:
+            if _valid_day_month(int(day), int(month)) and _valid_year(int(year)):
+                candidates.append(_normalise_year(int(year)))
+    elif length == 8:  # ddmmyyyy / mmddyyyy / yyyymmdd
+        splits = (
+            (token[:2], token[2:4], token[4:]),
+            (token[2:4], token[:2], token[4:]),
+            (token[6:], token[4:6], token[:4]),
+        )
+        for day, month, year in splits:
+            if (
+                _valid_day_month(int(day), int(month))
+                and 1900 <= int(year) <= 2029
+            ):
+                candidates.append(int(year))
+    return min(candidates) if candidates else None
+
+
+def _parse_date_parts(first: str, middle: str, last: str) -> Optional[int]:
+    """Read a separated date like 13/1/1984 or 1984-1-13."""
+    candidates = []
+    for day, month, year in (
+        (first, middle, last),
+        (middle, first, last),
+        (last, middle, first),
+    ):
+        try:
+            day_i, month_i, year_i = int(day), int(month), int(year)
+        except ValueError:  # pragma: no cover - regex guarantees digits
+            continue
+        if _valid_day_month(day_i, month_i) and _valid_year(year_i):
+            candidates.append(_normalise_year(year_i))
+    return min(candidates) if candidates else None

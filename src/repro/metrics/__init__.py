@@ -1,0 +1,78 @@
+"""Evaluation machinery: rank correlations, guess numbers, enumeration.
+
+* :mod:`~repro.metrics.rank` — Spearman rho and Kendall tau-b with the
+  tie handling the paper specifies (Sec. II-C).
+* :mod:`~repro.metrics.curves` — the top-k correlation curves plotted
+  in Figs. 9 and 13.
+* :mod:`~repro.metrics.enumeration` — lazy descending-probability
+  enumeration over factored models (Weir-style "next" function),
+  powering guess generation for the probabilistic meters.
+* :mod:`~repro.metrics.guessnumber` — exact (enumeration) and
+  Monte-Carlo (Dell'Amico & Filippone, CCS'15) guess numbers.
+* :mod:`~repro.metrics.unusable` — un-usable guess counting (Table III).
+"""
+
+from repro.metrics.rank import spearman_rho, kendall_tau, rankdata
+from repro.metrics.curves import correlation_curve, CurvePoint
+from repro.metrics.enumeration import (
+    descending_products,
+    merge_weighted_descending,
+    deduplicate_guesses,
+    LazyDescendingList,
+)
+from repro.metrics.guessnumber import (
+    MonteCarloEstimator,
+    guess_numbers_by_enumeration,
+)
+from repro.metrics.unusable import count_unusable_guesses
+from repro.metrics.cracking import (
+    CrackPoint,
+    ScatterPoint,
+    cracking_curve,
+    guess_number_scatter,
+    scatter_accuracy,
+    underivable_fraction,
+)
+from repro.metrics.guesswork import (
+    GuessingProfile,
+    alpha_guesswork,
+    alpha_work_factor,
+    beta_success_rate,
+    compare_profiles,
+    effective_beta_bits,
+    effective_guesswork_bits,
+    guessing_profile,
+    min_entropy,
+    shannon_entropy,
+)
+
+__all__ = [
+    "GuessingProfile",
+    "alpha_guesswork",
+    "alpha_work_factor",
+    "beta_success_rate",
+    "compare_profiles",
+    "effective_beta_bits",
+    "effective_guesswork_bits",
+    "guessing_profile",
+    "min_entropy",
+    "shannon_entropy",
+    "CrackPoint",
+    "ScatterPoint",
+    "cracking_curve",
+    "guess_number_scatter",
+    "scatter_accuracy",
+    "underivable_fraction",
+    "spearman_rho",
+    "kendall_tau",
+    "rankdata",
+    "correlation_curve",
+    "CurvePoint",
+    "descending_products",
+    "merge_weighted_descending",
+    "deduplicate_guesses",
+    "LazyDescendingList",
+    "MonteCarloEstimator",
+    "guess_numbers_by_enumeration",
+    "count_unusable_guesses",
+]

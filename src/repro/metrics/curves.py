@@ -1,0 +1,91 @@
+"""Top-k rank-correlation curves (paper Figs. 9 and 13).
+
+A point at x = k on those figures is the correlation between a meter's
+output and the ideal meter's output computed on the set of the top
+1, 2, ..., k ranked test passwords (ranked by the ideal meter, i.e. by
+empirical popularity).  This module computes those curves over a
+logarithmic grid of k values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.metrics.rank import kendall_tau
+
+Metric = Callable[[Sequence[float], Sequence[float]], float]
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One (k, correlation) point of a top-k curve."""
+
+    k: int
+    value: float
+
+
+def log_grid(n: int, points_per_decade: int = 5, start: int = 10) -> List[int]:
+    """Logarithmically spaced k values in ``[start, n]``, ending at n.
+
+    >>> log_grid(100, points_per_decade=2)
+    [10, 32, 100]
+    """
+    if n < 2:
+        raise ValueError("need at least two items")
+    start = min(start, n)
+    grid = []
+    exponent = math.log10(start)
+    step = 1.0 / points_per_decade
+    while True:
+        k = round(10 ** exponent)
+        if k >= n:
+            break
+        if not grid or k > grid[-1]:
+            grid.append(k)
+        exponent += step
+    if not grid or grid[-1] != n:
+        grid.append(n)
+    return grid
+
+
+def correlation_curve(
+    ideal_scores: Sequence[float],
+    meter_scores: Sequence[float],
+    ks: Optional[Sequence[int]] = None,
+    metric: Metric = kendall_tau,
+) -> List[CurvePoint]:
+    """Correlation over top-k prefixes, k on a log grid by default.
+
+    Both score vectors are aligned (same password per index).  The
+    prefix order is *descending ideal score* — the ideal meter's
+    popularity ranking — with score ties broken deterministically by
+    index so curves are reproducible.
+    """
+    if len(ideal_scores) != len(meter_scores):
+        raise ValueError("score vectors must have equal length")
+    n = len(ideal_scores)
+    if n < 2:
+        raise ValueError("need at least two passwords")
+    order = sorted(range(n), key=lambda i: (-ideal_scores[i], i))
+    ideal_sorted = [ideal_scores[i] for i in order]
+    meter_sorted = [meter_scores[i] for i in order]
+    if ks is None:
+        ks = log_grid(n)
+    points = []
+    for k in ks:
+        if k < 2 or k > n:
+            raise ValueError(f"k={k} outside [2, {n}]")
+        points.append(
+            CurvePoint(k, metric(ideal_sorted[:k], meter_sorted[:k]))
+        )
+    return points
+
+
+def curve_summary(points: Sequence[CurvePoint]) -> Tuple[float, float]:
+    """(mean correlation, final-k correlation) — compact curve digest."""
+    if not points:
+        raise ValueError("empty curve")
+    mean = sum(p.value for p in points) / len(points)
+    return mean, points[-1].value

@@ -1,0 +1,83 @@
+"""Saving and loading trained meters as JSON files.
+
+The three machine-learning meters (fuzzyPSM, PCFG, Markov) are trained
+artefacts a deployment would build once and ship; this module gives
+them a common on-disk format::
+
+    from repro import FuzzyPSM
+    from repro.persistence import save_meter, load_meter
+
+    meter = FuzzyPSM.train(base, training)
+    save_meter(meter, "fuzzy.json")
+    meter = load_meter("fuzzy.json")   # type restored automatically
+
+Files carry a ``kind`` tag and a format version, so loading dispatches
+to the right class and future format changes stay detectable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Type, Union
+
+from repro.core.meter import FuzzyPSM
+from repro.meters.markov import MarkovMeter
+from repro.meters.pcfg import PCFGMeter
+
+FORMAT_VERSION = 1
+
+TrainedMeter = Union[FuzzyPSM, PCFGMeter, MarkovMeter]
+
+_KINDS: Dict[str, Type] = {
+    "fuzzypsm": FuzzyPSM,
+    "pcfg": PCFGMeter,
+    "markov": MarkovMeter,
+}
+
+
+def _kind_of(meter: TrainedMeter) -> str:
+    for kind, klass in _KINDS.items():
+        if isinstance(meter, klass):
+            return kind
+    raise TypeError(
+        f"cannot serialise meter of type {type(meter).__name__}; "
+        f"supported: {', '.join(sorted(_KINDS))}"
+    )
+
+
+def meter_to_dict(meter: TrainedMeter) -> dict:
+    """The JSON-ready document for a trained meter."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": _kind_of(meter),
+        "model": meter.to_dict(),
+    }
+
+
+def meter_from_dict(document: dict) -> TrainedMeter:
+    """Rebuild a meter from :func:`meter_to_dict` output."""
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    kind = document.get("kind")
+    if kind not in _KINDS:
+        raise ValueError(
+            f"unknown meter kind {kind!r}; known: {', '.join(sorted(_KINDS))}"
+        )
+    return _KINDS[kind].from_dict(document["model"])
+
+
+def save_meter(meter: TrainedMeter, path: str) -> None:
+    """Write a trained meter to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(meter_to_dict(meter), handle)
+
+
+def load_meter(path: str) -> TrainedMeter:
+    """Read a trained meter back; the concrete class is restored."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    return meter_from_dict(document)

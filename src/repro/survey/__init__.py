@@ -1,0 +1,48 @@
+"""The paper's user survey (Sec. III, Figs. 2-8).
+
+Only aggregated percentages were published; :mod:`~repro.survey.data`
+encodes them verbatim, :mod:`~repro.survey.analysis` reproduces the
+figures' numbers and the comparisons with Das et al. (NDSS'14), and
+:class:`~repro.survey.data.BehaviorModel` packages the same numbers as
+a generative model of password-creation behaviour — which is exactly
+what the synthetic corpus generator samples from, so the reproduction's
+data is grounded in the paper's own measurements.
+"""
+
+from repro.survey.data import (
+    BehaviorModel,
+    CREATION_STRATEGY,
+    SIMILARITY,
+    MODIFY_REASONS,
+    TRANSFORMATION_RULES,
+    DIGIT_PLACEMENT,
+    SYMBOL_PLACEMENT,
+    CAPITALIZATION_PLACEMENT,
+    DEMOGRAPHICS,
+    DAS_2014_CREATION_STRATEGY,
+)
+from repro.survey.analysis import (
+    figure2_reuse_rate,
+    figure3_similar_or_closer_rate,
+    figure5_top_rule,
+    compare_with_das,
+    survey_report,
+)
+
+__all__ = [
+    "BehaviorModel",
+    "CREATION_STRATEGY",
+    "SIMILARITY",
+    "MODIFY_REASONS",
+    "TRANSFORMATION_RULES",
+    "DIGIT_PLACEMENT",
+    "SYMBOL_PLACEMENT",
+    "CAPITALIZATION_PLACEMENT",
+    "DEMOGRAPHICS",
+    "DAS_2014_CREATION_STRATEGY",
+    "figure2_reuse_rate",
+    "figure3_similar_or_closer_rate",
+    "figure5_top_rule",
+    "compare_with_das",
+    "survey_report",
+]

@@ -1,0 +1,90 @@
+"""Reproduction of the survey figures' headline numbers (Figs. 2-8).
+
+Each function returns the quantity the paper's prose highlights, so the
+survey benchmark can assert them against the text (e.g. "77.38% of
+users would reuse or simply modify an existing password").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.survey import data
+
+
+def figure2_reuse_rate() -> float:
+    """Fraction who reuse *or* modify an existing password (77.38%)."""
+    return (
+        data.CREATION_STRATEGY["reuse an existing password"]
+        + data.CREATION_STRATEGY["modify an existing password"]
+    )
+
+
+def figure3_similar_or_closer_rate() -> float:
+    """Fraction whose new password is at least 'similar' (>= 80%)."""
+    return (
+        data.SIMILARITY["the same or very similar"]
+        + data.SIMILARITY["similar"]
+    )
+
+
+def figure4_top_reason() -> Tuple[str, float]:
+    """The most common modification reason (increase security, 51%)."""
+    reason = max(data.MODIFY_REASONS, key=data.MODIFY_REASONS.get)
+    return reason, data.MODIFY_REASONS[reason]
+
+
+def figure5_top_rule() -> Tuple[str, float]:
+    """The most popular transformation rule (concatenation)."""
+    rule = max(data.TRANSFORMATION_RULES, key=data.TRANSFORMATION_RULES.get)
+    return rule, data.TRANSFORMATION_RULES[rule]
+
+
+def figure6_placement_order() -> List[str]:
+    """Digit placements in decreasing popularity (end, middle, begin)."""
+    return sorted(
+        data.DIGIT_PLACEMENT, key=data.DIGIT_PLACEMENT.get, reverse=True
+    )
+
+
+def figure8_capitalize_first_rate() -> float:
+    """Fraction capitalizing at the beginning (47.96%)."""
+    return data.CAPITALIZATION_PLACEMENT["beginning of the password"]
+
+
+def compare_with_das() -> Dict[str, float]:
+    """The paper's quantitative comparisons with Das et al. (NDSS'14).
+
+    Returns the three deltas the paper calls out: overall agreement on
+    the reuse-or-modify rate, the direct-reuse gap (-6.2 points for
+    Chinese users) and the brand-new-password gap (+14.86 points for
+    English users).
+    """
+    ours = data.CREATION_STRATEGY
+    das = data.DAS_2014_CREATION_STRATEGY
+    return {
+        "reuse_or_modify_chinese": figure2_reuse_rate(),
+        "reuse_or_modify_english": das["reuse an existing password"]
+        + das["modify an existing password"],
+        "direct_reuse_gap": ours["reuse an existing password"]
+        - das["reuse an existing password"],
+        "new_password_gap": das["create an entirely new password"]
+        - ours["create an entirely new password"],
+    }
+
+
+def survey_report() -> List[str]:
+    """The figures' headline numbers, one line each (for the bench)."""
+    lines = [
+        f"Fig 2  reuse-or-modify rate: {figure2_reuse_rate():.2%}",
+        f"Fig 3  at-least-similar rate: {figure3_similar_or_closer_rate():.2%}",
+        "Fig 4  top modify reason: {} ({:.2%})".format(*figure4_top_reason()),
+        "Fig 5  top transformation rule: {} ({:.2%})".format(
+            *figure5_top_rule()
+        ),
+        f"Fig 6  digit placement order: {' > '.join(figure6_placement_order())}",
+        f"Fig 8  capitalize-first rate: {figure8_capitalize_first_rate():.2%}",
+        "Fig 8  never-capitalize rate: "
+        f"{data.CAPITALIZATION_PLACEMENT['never use capitalization']:.2%}",
+    ]
+    return lines

@@ -1,0 +1,38 @@
+"""Shared low-level helpers used across the fuzzyPSM reproduction.
+
+This package deliberately contains only small, dependency-free building
+blocks: character-class predicates and segmentation (:mod:`~repro.util.charclasses`),
+the leet substitution table used by the fuzzy grammar and by zxcvbn
+(:mod:`~repro.util.leet`), and a counting frequency distribution
+(:mod:`~repro.util.freqdist`).
+"""
+
+from repro.util.charclasses import (
+    CharClass,
+    char_class,
+    classify_composition,
+    segment_by_class,
+    PRINTABLE_ASCII,
+)
+from repro.util.freqdist import FrequencyDistribution
+from repro.util.leet import (
+    LEET_PAIRS,
+    LEET_BY_LETTER,
+    LEET_BY_SUBSTITUTE,
+    deleet,
+    leet_variants,
+)
+
+__all__ = [
+    "CharClass",
+    "char_class",
+    "classify_composition",
+    "segment_by_class",
+    "PRINTABLE_ASCII",
+    "FrequencyDistribution",
+    "LEET_PAIRS",
+    "LEET_BY_LETTER",
+    "LEET_BY_SUBSTITUTE",
+    "deleet",
+    "leet_variants",
+]

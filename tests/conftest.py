@@ -1,0 +1,65 @@
+"""Shared fixtures: small deterministic corpora and trained meters."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import FuzzyPSM
+from repro.datasets import PasswordCorpus, SyntheticEcosystem
+from repro.meters import MarkovMeter, PCFGMeter, Smoothing
+
+#: A base dictionary resembling the paper's running examples.
+BASE_DICTIONARY = [
+    "password", "p@ssword", "123456", "123qwe", "dragon", "iloveyou",
+    "qwerty", "111111", "woaini", "5201314", "letmein", "monkey",
+]
+
+#: A training list exercising every transformation rule.
+TRAINING_PASSWORDS = [
+    "password", "password", "password123", "Password123", "p@ssw0rd",
+    "123qwe123qwe", "123456", "123456", "123456", "iloveyou1",
+    "Dragon", "qwerty12", "tyxdqd123", "woaini520", "5201314",
+    "letmein!", "monkey99", "PASSWORD",
+]
+
+
+@pytest.fixture(scope="session")
+def base_dictionary():
+    return list(BASE_DICTIONARY)
+
+
+@pytest.fixture(scope="session")
+def training_passwords():
+    return list(TRAINING_PASSWORDS)
+
+
+@pytest.fixture(scope="session")
+def fuzzy_meter(base_dictionary, training_passwords):
+    return FuzzyPSM.train(base_dictionary, training_passwords)
+
+
+@pytest.fixture(scope="session")
+def pcfg_meter(training_passwords):
+    return PCFGMeter.train(training_passwords)
+
+
+@pytest.fixture(scope="session")
+def markov_meter(training_passwords):
+    return MarkovMeter.train(training_passwords, order=2)
+
+
+@pytest.fixture(scope="session")
+def ecosystem():
+    return SyntheticEcosystem(seed=7, population=5_000)
+
+
+@pytest.fixture(scope="session")
+def small_corpus(ecosystem):
+    return ecosystem.generate("csdn", total=3_000)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(12345)

@@ -1,0 +1,186 @@
+"""Unit tests for the Table-I attack simulator."""
+
+import pytest
+
+from repro.attacks.simulator import (
+    HASH_PROFILES,
+    AttackOutcome,
+    HashFunctionProfile,
+    LockoutPolicy,
+    OfflineAttack,
+    OnlineAttack,
+    head_guess_stream,
+)
+from repro.datasets.corpus import PasswordCorpus
+
+
+@pytest.fixture()
+def accounts():
+    return PasswordCorpus(
+        {"123456": 50, "password": 30, "dragon": 15, "rareone": 5},
+        name="site",
+    )
+
+
+def stream(*passwords):
+    return iter((pw, 1.0) for pw in passwords)
+
+
+class TestLockoutPolicy:
+    def test_nist_default(self):
+        policy = LockoutPolicy()
+        assert policy.attempts_per_window == 100
+        assert policy.total_attempts == 100
+
+    def test_windows_multiply(self):
+        policy = LockoutPolicy(attempts_per_window=100, windows=3)
+        assert policy.total_attempts == 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LockoutPolicy(attempts_per_window=0)
+        with pytest.raises(ValueError):
+            LockoutPolicy(windows=0)
+
+
+class TestOnlineAttack:
+    def test_budget_caps_guesses(self, accounts):
+        attack = OnlineAttack(LockoutPolicy(attempts_per_window=2))
+        outcome = attack.run(
+            stream("123456", "password", "dragon"), accounts
+        )
+        # Only the first two guesses land before lockout.
+        assert outcome.accounts_compromised == 80
+        assert outcome.guesses_per_account == 2
+
+    def test_popular_passwords_fall_first(self, accounts):
+        attack = OnlineAttack(LockoutPolicy(attempts_per_window=1))
+        outcome = attack.run(stream("123456"), accounts)
+        assert outcome.accounts_compromised == 50
+        assert outcome.compromise_rate == pytest.approx(0.5)
+
+    def test_misses_cost_budget(self, accounts):
+        attack = OnlineAttack(LockoutPolicy(attempts_per_window=2))
+        outcome = attack.run(
+            stream("wrong1", "wrong2", "123456"), accounts
+        )
+        assert outcome.accounts_compromised == 0
+
+    def test_duplicate_guesses_free(self, accounts):
+        attack = OnlineAttack(LockoutPolicy(attempts_per_window=2))
+        outcome = attack.run(
+            stream("123456", "123456", "password"), accounts
+        )
+        assert outcome.accounts_compromised == 80
+
+    def test_empty_accounts_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineAttack().run(stream("x"), PasswordCorpus([]))
+
+    def test_summary(self, accounts):
+        outcome = OnlineAttack().run(stream("123456"), accounts)
+        assert "accounts" in outcome.summary()
+        assert isinstance(outcome, AttackOutcome)
+
+
+class TestHashProfiles:
+    def test_known_profiles(self):
+        assert HASH_PROFILES["md5"].rate > HASH_PROFILES["bcrypt"].rate
+        assert HASH_PROFILES["plaintext"].rate == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashFunctionProfile("broken", 0.0)
+
+
+class TestOfflineAttack:
+    def test_slow_hash_shrinks_budget(self, accounts):
+        fast = OfflineAttack(HASH_PROFILES["md5"], seconds=3600)
+        slow = OfflineAttack(HASH_PROFILES["bcrypt"], seconds=3600)
+        assert fast.guess_budget(accounts.total) > slow.guess_budget(
+            accounts.total
+        )
+
+    def test_salting_divides_budget(self, accounts):
+        salted = OfflineAttack(HASH_PROFILES["sha256"], seconds=1.0,
+                               salted=True)
+        unsalted = OfflineAttack(HASH_PROFILES["sha256"], seconds=1.0,
+                                 salted=False)
+        assert unsalted.guess_budget(accounts.total) == pytest.approx(
+            salted.guess_budget(accounts.total) * accounts.total,
+            rel=0.01,
+        )
+
+    def test_offline_budget_exceeds_online(self, accounts):
+        """Table I's core contrast: offline >> online budgets."""
+        offline = OfflineAttack(HASH_PROFILES["sha256"],
+                                seconds=24 * 3600)
+        assert offline.guess_budget(accounts.total) > 10 ** 4
+
+    def test_bcrypt_defends(self):
+        """Footnote 5: slow hashes partially relieve offline guessing.
+        Against a large salted file, bcrypt leaves a per-account
+        budget close to the online regime."""
+        big_site = 10 ** 6
+        budget = OfflineAttack(
+            HASH_PROFILES["bcrypt"], seconds=24 * 3600
+        ).guess_budget(big_site)
+        assert budget < 10 ** 4
+
+    def test_run_respects_budget(self, accounts):
+        attack = OfflineAttack(
+            HashFunctionProfile("slow", rate=accounts.total * 2.0),
+            seconds=1.0,
+        )
+        # budget = 2 guesses/account.
+        outcome = attack.run(
+            stream("123456", "password", "dragon"), accounts
+        )
+        assert outcome.guesses_per_account == 2
+        assert outcome.accounts_compromised == 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OfflineAttack(HASH_PROFILES["md5"], seconds=0)
+        with pytest.raises(ValueError):
+            OfflineAttack(HASH_PROFILES["md5"]).guess_budget(0)
+        with pytest.raises(ValueError):
+            OfflineAttack(HASH_PROFILES["md5"]).run(
+                stream("x"), PasswordCorpus([])
+            )
+
+
+class TestHeadGuessStream:
+    def test_descending_popularity(self, accounts):
+        guesses = list(head_guess_stream(accounts))
+        assert [g for g, _ in guesses] == [
+            "123456", "password", "dragon", "rareone"
+        ]
+        probabilities = [p for _, p in guesses]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_limit(self, accounts):
+        assert len(list(head_guess_stream(accounts, limit=2))) == 2
+
+
+class TestEndToEnd:
+    def test_online_vs_offline_contrast(self):
+        """The taxonomy's punchline, executed: the same attacker
+        recovers a few percent online but the majority offline."""
+        from repro.datasets.synthetic import SyntheticEcosystem
+        import random
+        ecosystem = SyntheticEcosystem(seed=4, population=8_000)
+        corpus = ecosystem.generate("phpbb", total=8_000)
+        train, _, _, test = corpus.split([0.25] * 4, random.Random(1))
+
+        online = OnlineAttack(LockoutPolicy(attempts_per_window=100))
+        online_outcome = online.run(head_guess_stream(train), test)
+
+        offline = OfflineAttack(HASH_PROFILES["plaintext"])
+        offline_outcome = offline.run(head_guess_stream(train), test)
+
+        assert 0.0 < online_outcome.compromise_rate < 0.6
+        assert (
+            offline_outcome.compromise_rate
+            > online_outcome.compromise_rate
+        )

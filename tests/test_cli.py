@@ -1,0 +1,214 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestSurvey:
+    def test_prints_headlines(self, capsys):
+        code, out, _ = run_cli(capsys, "survey")
+        assert code == 0
+        assert "77.38%" in out
+
+
+class TestScenarios:
+    def test_lists_matrix(self, capsys):
+        code, out, _ = run_cli(capsys, "scenarios")
+        assert code == 0
+        assert "ideal-csdn" in out
+        assert "13(q)" in out
+        assert out.count("\n") >= 18
+
+
+class TestGenerateAndStats:
+    def test_generate_writes_file(self, capsys, tmp_path):
+        path = str(tmp_path / "csdn.txt")
+        code, out, _ = run_cli(
+            capsys, "generate", "csdn", "--total", "500",
+            "--output", path,
+        )
+        assert code == 0
+        assert "500 entries" in out
+        assert (tmp_path / "csdn.txt").exists()
+
+    def test_stats_on_generated_corpus(self, capsys, tmp_path):
+        path = str(tmp_path / "csdn.txt")
+        run_cli(capsys, "generate", "csdn", "--total", "500",
+                "--output", path)
+        code, out, _ = run_cli(capsys, "stats", path, "--top", "5")
+        assert code == 0
+        assert "Top-5 passwords" in out
+        assert "Character composition" in out
+        assert "Length distribution" in out
+
+
+class TestTrainMeasureGuess:
+    @pytest.fixture()
+    def corpora(self, capsys, tmp_path):
+        base = str(tmp_path / "base.txt")
+        training = str(tmp_path / "train.txt")
+        run_cli(capsys, "generate", "tianya", "--total", "2000",
+                "--output", base)
+        run_cli(capsys, "generate", "csdn", "--total", "1000",
+                "--output", training)
+        return base, training
+
+    def test_train_fuzzy_and_measure(self, capsys, tmp_path, corpora):
+        base, training = corpora
+        model = str(tmp_path / "model.json")
+        code, out, _ = run_cli(
+            capsys, "train", "--training", training, "--base", base,
+            "--output", model,
+        )
+        assert code == 0
+        assert "fuzzyPSM" in out
+        code, out, _ = run_cli(
+            capsys, "measure", "--model", model, "123456789", "zzz!!!",
+        )
+        assert code == 0
+        assert "123456789" in out
+        assert "probability" in out
+
+    def test_train_fuzzy_requires_base(self, capsys, tmp_path, corpora):
+        _, training = corpora
+        code, _, err = run_cli(
+            capsys, "train", "--training", training,
+            "--output", str(tmp_path / "x.json"),
+        )
+        assert code == 2
+        assert "--base" in err
+
+    def test_train_pcfg_and_guess(self, capsys, tmp_path, corpora):
+        _, training = corpora
+        model = str(tmp_path / "pcfg.json")
+        code, _, _ = run_cli(
+            capsys, "train", "--training", training, "--kind", "pcfg",
+            "--output", model,
+        )
+        assert code == 0
+        code, out, _ = run_cli(
+            capsys, "guess", "--model", model, "-n", "10",
+        )
+        assert code == 0
+        lines = [line for line in out.splitlines() if line]
+        assert len(lines) == 10
+        assert lines[0].startswith("1\t")
+
+    def test_train_fuzzy_with_extensions(self, capsys, tmp_path,
+                                         corpora):
+        base, training = corpora
+        model = str(tmp_path / "ext.json")
+        code, _, _ = run_cli(
+            capsys, "train", "--training", training, "--base", base,
+            "--allow-reverse", "--allow-allcaps", "--output", model,
+        )
+        assert code == 0
+        from repro.persistence import load_meter
+        loaded = load_meter(model)
+        assert loaded.config.allow_reverse
+        assert loaded.config.allow_allcaps
+
+    def test_train_markov(self, capsys, tmp_path, corpora):
+        _, training = corpora
+        model = str(tmp_path / "markov.json")
+        code, out, _ = run_cli(
+            capsys, "train", "--training", training, "--kind", "markov",
+            "--order", "2", "--smoothing", "laplace",
+            "--output", model,
+        )
+        assert code == 0
+        assert "Markov" in out
+
+
+class TestExperiment:
+    def test_small_scenario_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "experiment", "ideal-csdn",
+            "--corpus-size", "2000", "--base-corpus-size", "8000",
+            "--min-frequency", "2",
+        )
+        assert code == 0
+        assert "13(h)" in out
+        assert "ranking:" in out
+        assert "fuzzyPSM" in out
+
+    def test_seed_sweep(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "experiment", "ideal-csdn",
+            "--corpus-size", "2000", "--base-corpus-size", "8000",
+            "--min-frequency", "2", "--seeds", "1,2",
+        )
+        assert code == 0
+        assert "across seeds [1, 2]" in out
+        assert "mean rank" in out
+
+    def test_seed_sweep_validation(self, capsys):
+        code, _, err = run_cli(
+            capsys, "experiment", "ideal-csdn", "--seeds", "a,b",
+        )
+        assert code == 2
+        assert "comma-separated integers" in err
+
+
+class TestCoachAttackProfile:
+    @pytest.fixture()
+    def trained_model(self, capsys, tmp_path):
+        base = str(tmp_path / "base.txt")
+        training = str(tmp_path / "train.txt")
+        model = str(tmp_path / "model.json")
+        run_cli(capsys, "generate", "rockyou", "--total", "3000",
+                "--output", base)
+        run_cli(capsys, "generate", "yahoo", "--total", "1500",
+                "--output", training)
+        run_cli(capsys, "train", "--training", training, "--base",
+                base, "--output", model)
+        return model, training
+
+    def test_coach(self, capsys, trained_model):
+        model, _ = trained_model
+        code, out, _ = run_cli(
+            capsys, "coach", "--model", model,
+            "--target-bits", "18", "123456",
+        )
+        assert code == 0
+        assert "original" in out or "already" in out
+
+    def test_attack(self, capsys, trained_model, tmp_path):
+        model, _ = trained_model
+        victims = str(tmp_path / "victims.txt")
+        run_cli(capsys, "generate", "yahoo", "--total", "1000",
+                "--seed", "3", "--output", victims)
+        code, out, _ = run_cli(
+            capsys, "attack", "--model", model,
+            "--victims", victims, "--lockout", "50",
+            "--hash", "bcrypt", "--max-guesses", "20000",
+        )
+        assert code == 0
+        assert "online" in out
+        assert "offline (bcrypt" in out
+
+    def test_profile(self, capsys, trained_model):
+        _, training = trained_model
+        code, out, _ = run_cli(
+            capsys, "profile", training, "--online-budget", "100",
+        )
+        assert code == 0
+        assert "min-entropy" in out
+        assert "lambda_100" in out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "linkedin", "--output", "x.txt"])

@@ -1,0 +1,208 @@
+"""Tests for the all-caps capitalization extension (limitation #2).
+
+Sec. IV-C's limitations: "for capitalization, it only considers the
+capitalization of the first letter of a base password segment."  The
+extension is config-gated (``FuzzyPSMConfig(allow_allcaps=True)``);
+off by default, the meter matches the published behaviour exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.core import FuzzyPSM, FuzzyPSMConfig
+from repro.core.grammar import DerivedSegment, FuzzyGrammar
+from repro.core.parser import FuzzyParser
+from repro.core.trie import PrefixTrie
+
+BASE = ["password", "dragon", "iloveyou", "p@ssword", "sunshine"]
+TRAINING = [
+    "password", "password123", "PASSWORD", "DRAGON1", "iloveyou",
+    "sunshine", "Password", "dragon",
+]
+
+
+@pytest.fixture(scope="module")
+def allcaps_meter():
+    return FuzzyPSM.train(
+        BASE, TRAINING, config=FuzzyPSMConfig(allow_allcaps=True)
+    )
+
+
+@pytest.fixture(scope="module")
+def plain_meter():
+    return FuzzyPSM.train(BASE, TRAINING)
+
+
+class TestDerivedSegmentAllCaps:
+    def test_surface(self):
+        assert DerivedSegment(
+            "password", all_caps=True
+        ).surface() == "PASSWORD"
+
+    def test_non_letters_unchanged(self):
+        assert DerivedSegment(
+            "pass123", all_caps=True
+        ).surface() == "PASS123"
+
+    def test_leet_then_caps(self):
+        # Toggle 'o' -> '0' first, then upper-case the letters.
+        segment = DerivedSegment("password", toggled_offsets=(5,),
+                                 all_caps=True)
+        assert segment.surface() == "PASSW0RD"
+
+    def test_mutual_exclusion_with_capitalized(self):
+        with pytest.raises(ValueError):
+            DerivedSegment("abc", capitalized=True,
+                           all_caps=True).surface()
+
+    def test_allcaps_then_reverse(self):
+        segment = DerivedSegment("pass1", all_caps=True,
+                                 reversed_word=True)
+        assert segment.surface() == "1SSAP"
+
+
+class TestParserAllCaps:
+    def test_allcaps_word_recognised(self, allcaps_meter):
+        parse = allcaps_meter.parse("PASSWORD")
+        segment = parse.segments[0]
+        assert segment.base == "password"
+        assert segment.all_caps
+        assert not segment.capitalized
+
+    def test_first_letter_cap_still_preferred(self, allcaps_meter):
+        parse = allcaps_meter.parse("Password")
+        segment = parse.segments[0]
+        assert segment.capitalized
+        assert not segment.all_caps
+
+    def test_lowercase_never_reads_as_allcaps(self, allcaps_meter):
+        parse = allcaps_meter.parse("password")
+        segment = parse.segments[0]
+        assert not segment.all_caps
+
+    def test_mixed_case_rejected(self):
+        parser = FuzzyParser(PrefixTrie(["password"]),
+                             allow_allcaps=True)
+        parse = parser.parse("PAssWORD")
+        # Not a valid all-caps surface: falls back to L/D/S runs.
+        assert all(not seg.all_caps for seg in parse.segments)
+
+    def test_allcaps_with_leet(self):
+        parser = FuzzyParser(PrefixTrie(["password"]),
+                             allow_allcaps=True)
+        parse = parser.parse("PASSW0RD")
+        segment = parse.segments[0]
+        assert segment.base == "password"
+        assert segment.all_caps
+        assert segment.toggled_offsets == (5,)
+
+    def test_flag_off_means_fallback(self, plain_meter):
+        parse = plain_meter.parse("PASSWORD")
+        assert all(not seg.all_caps for seg in parse.segments)
+
+    def test_surface_round_trip(self, allcaps_meter):
+        for password in ("PASSWORD", "DRAGON1", "Password123",
+                         "SUNSHINE99"):
+            parse = allcaps_meter.parse(password)
+            assert parse.to_derivation().surface() == password
+
+
+class TestGrammarAllCaps:
+    def test_allcaps_counts_learned(self, allcaps_meter):
+        grammar = allcaps_meter.grammar
+        assert grammar.allcaps.count(True) >= 2   # PASSWORD, DRAGON(1)
+        assert grammar.allcaps.count(False) > 0
+
+    def test_rule_table_rows(self, allcaps_meter):
+        rows = allcaps_meter.grammar.rule_table()
+        allcaps_rows = [row for row in rows if row[0] == "AllCaps"]
+        assert len(allcaps_rows) == 2
+        assert sum(p for _, _, p in allcaps_rows) == pytest.approx(1.0)
+
+    def test_no_rows_when_unused(self, plain_meter):
+        rows = plain_meter.grammar.rule_table()
+        assert all(row[0] != "AllCaps" for row in rows)
+
+    def test_serialisation_round_trip(self, allcaps_meter):
+        clone = FuzzyGrammar.from_dict(allcaps_meter.grammar.to_dict())
+        derivation = allcaps_meter.parse("PASSWORD").to_derivation()
+        assert clone.derivation_probability(
+            derivation
+        ) == allcaps_meter.grammar.derivation_probability(derivation)
+
+    def test_legacy_document_compatible(self, plain_meter):
+        document = plain_meter.grammar.to_dict()
+        del document["allcaps"]
+        clone = FuzzyGrammar.from_dict(document)
+        assert clone.derivation_probability(
+            plain_meter.parse("password").to_derivation()
+        ) == plain_meter.probability("password")
+
+
+class TestMeterAllCaps:
+    def test_allcaps_measurable(self, allcaps_meter):
+        assert allcaps_meter.probability("PASSWORD") > 0.0
+        # A fresh all-caps variant of another trained word works too.
+        assert allcaps_meter.probability("SUNSHINE") > 0.0
+
+    def test_allcaps_weaker_than_plain(self, allcaps_meter):
+        assert (
+            allcaps_meter.probability("PASSWORD")
+            < allcaps_meter.probability("password")
+        )
+
+    def test_flag_off_unreachable(self, plain_meter):
+        assert plain_meter.probability("SUNSHINE") == 0.0
+
+    def test_explain_mentions_allcaps(self, allcaps_meter):
+        explanation = allcaps_meter.explain("PASSWORD")
+        assert any(
+            "all-caps" in description
+            for _, description in explanation.segments
+        )
+
+    def test_guess_probabilities_match_measure(self, allcaps_meter):
+        for guess, probability in allcaps_meter.iter_guesses(limit=80):
+            assert allcaps_meter.probability(guess) == pytest.approx(
+                probability, rel=1e-9
+            ), guess
+
+    def test_guesses_include_allcaps_variants(self, allcaps_meter):
+        guesses = [
+            guess for guess, _ in allcaps_meter.iter_guesses(limit=300)
+        ]
+        assert "PASSWORD" in guesses
+
+    def test_sampling_consistent(self, allcaps_meter):
+        rng = random.Random(7)
+        for _ in range(60):
+            password, probability = allcaps_meter.sample(rng)
+            assert allcaps_meter.probability(
+                password
+            ) == pytest.approx(probability, rel=1e-12)
+
+    def test_persistence_round_trip(self, allcaps_meter, tmp_path):
+        from repro.persistence import load_meter, save_meter
+        path = str(tmp_path / "allcaps.json")
+        save_meter(allcaps_meter, path)
+        loaded = load_meter(path)
+        assert loaded.config.allow_allcaps
+        assert loaded.probability(
+            "PASSWORD"
+        ) == allcaps_meter.probability("PASSWORD")
+
+
+class TestCombinedExtensions:
+    def test_reverse_and_allcaps_together(self):
+        meter = FuzzyPSM.train(
+            BASE, TRAINING + ["drowssap"],
+            config=FuzzyPSMConfig(allow_reverse=True,
+                                  allow_allcaps=True),
+        )
+        assert meter.probability("PASSWORD") > 0.0
+        assert meter.probability("drowssap") > 0.0
+        for guess, probability in meter.iter_guesses(limit=80):
+            assert meter.probability(guess) == pytest.approx(
+                probability, rel=1e-9
+            ), guess

@@ -1,0 +1,130 @@
+"""Unit tests for bucketed strength feedback."""
+
+import pytest
+
+from repro.core.buckets import (
+    BucketScale,
+    BucketedMeter,
+    DEFAULT_LABELS,
+    calibrate_scale,
+)
+from repro.datasets.corpus import PasswordCorpus
+from repro.meters.nist import NISTMeter
+
+
+class TestBucketScale:
+    def test_label_boundaries(self):
+        scale = BucketScale(("weak", "fair", "strong"), (10.0, 20.0))
+        assert scale.label_for(5.0) == "weak"
+        assert scale.label_for(10.0) == "fair"   # threshold is inclusive
+        assert scale.label_for(19.9) == "fair"
+        assert scale.label_for(20.0) == "strong"
+
+    def test_index(self):
+        scale = BucketScale(("weak", "strong"), (15.0,))
+        assert scale.index_for(1.0) == 0
+        assert scale.index_for(30.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BucketScale(("only",), ())
+        with pytest.raises(ValueError):
+            BucketScale(("a", "b"), (1.0, 2.0))   # too many thresholds
+        with pytest.raises(ValueError):
+            BucketScale(("a", "b", "c"), (5.0, 1.0))  # not ascending
+
+
+class TestBucketedMeter:
+    @pytest.fixture()
+    def meter(self):
+        scale = BucketScale(DEFAULT_LABELS, (15.0, 25.0, 40.0))
+        return BucketedMeter(NISTMeter(), scale)
+
+    def test_label(self, meter):
+        assert meter.label("abc") == "weak"        # 8 bits
+        assert meter.label("a" * 30) == "strong"   # 45 bits
+
+    def test_feedback_fields(self, meter):
+        feedback = meter.feedback("abcdefgh")   # 18 bits -> fair
+        assert feedback.label == "fair"
+        assert feedback.index == 1
+        assert feedback.entropy_bits == pytest.approx(18.0)
+        assert 0.0 < feedback.probability < 1.0
+
+    def test_accepted_convention(self, meter):
+        assert not meter.feedback("abc").accepted
+        assert meter.feedback("abcdefgh").accepted
+
+    def test_accessors(self, meter):
+        assert meter.meter.name == "NIST"
+        assert meter.scale.labels == DEFAULT_LABELS
+
+
+class TestCalibration:
+    @pytest.fixture()
+    def corpus(self):
+        # Four length groups -> four distinct NIST entropies.
+        return PasswordCorpus(
+            ["abc"] * 25 + ["abcdef"] * 25
+            + ["abcdefghij"] * 25 + ["abcdefghijklmn"] * 25
+        )
+
+    def test_even_quartiles(self, corpus):
+        scale = calibrate_scale(NISTMeter(), corpus)
+        meter = BucketedMeter(NISTMeter(), scale)
+        labels = [
+            meter.label(pw)
+            for pw in ("abc", "abcdef", "abcdefghij", "abcdefghijklmn")
+        ]
+        assert labels == list(DEFAULT_LABELS)
+
+    def test_custom_quantiles(self, corpus):
+        scale = calibrate_scale(
+            NISTMeter(), corpus, labels=("reject", "accept"),
+            quantiles=(0.25,),
+        )
+        meter = BucketedMeter(NISTMeter(), scale)
+        assert meter.label("abc") == "reject"
+        assert meter.label("abcdef") == "accept"
+
+    def test_thresholds_ascending(self, corpus):
+        scale = calibrate_scale(NISTMeter(), corpus)
+        assert list(scale.thresholds) == sorted(scale.thresholds)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_scale(NISTMeter(), PasswordCorpus([]))
+
+    def test_quantile_validation(self, corpus):
+        with pytest.raises(ValueError):
+            calibrate_scale(NISTMeter(), corpus, quantiles=(0.5,))
+        with pytest.raises(ValueError):
+            calibrate_scale(
+                NISTMeter(), corpus,
+                labels=("a", "b"), quantiles=(1.5,),
+            )
+        with pytest.raises(ValueError):
+            calibrate_scale(
+                NISTMeter(), corpus,
+                labels=("a", "b", "c"), quantiles=(0.8, 0.2),
+            )
+
+    def test_degenerate_corpus_all_identical(self):
+        corpus = PasswordCorpus(["samepw"] * 10)
+        scale = calibrate_scale(NISTMeter(), corpus)
+        # All mass in one entropy value: scale still well-formed.
+        assert len(scale.thresholds) == len(DEFAULT_LABELS) - 1
+
+    def test_weak_passwords_land_in_weak_bucket(self):
+        """The paper's deployment story: the weakest quartile of real
+        passwords is what a mandatory meter should reject."""
+        corpus = PasswordCorpus(
+            ["123456"] * 40 + ["password1"] * 30
+            + ["Str0ng&Longer!"] * 30
+        )
+        scale = calibrate_scale(
+            NISTMeter(), corpus, labels=("weak", "ok"), quantiles=(0.4,),
+        )
+        meter = BucketedMeter(NISTMeter(), scale)
+        assert meter.label("123456") == "weak"
+        assert meter.label("Str0ng&Longer!") == "ok"

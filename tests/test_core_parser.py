@@ -1,0 +1,100 @@
+"""Unit tests for the fuzzy longest-prefix-match parser (Sec. IV-C)."""
+
+import pytest
+
+from repro.core.parser import FuzzyParser, SegmentKind
+from repro.core.trie import PrefixTrie
+
+
+@pytest.fixture()
+def parser():
+    trie = PrefixTrie(["password", "p@ssword", "123qwe", "123456",
+                       "dragon", "qwe"])
+    return FuzzyParser(trie)
+
+
+class TestPaperExamples:
+    """The worked examples of Sec. IV-C."""
+
+    def test_password123_single_transformless_parse(self, parser):
+        # password123 not in B; parses as password + 123 (B8 B3).
+        parse = parser.parse("password123")
+        assert parse.structure == (8, 3)
+        assert parse.segments[0].base == "password"
+        assert parse.segments[0].kind is SegmentKind.DICTIONARY
+        assert parse.segments[1].kind is SegmentKind.FALLBACK
+
+    def test_Password123_capitalization(self, parser):
+        parse = parser.parse("Password123")
+        assert parse.segments[0].capitalized
+        assert parse.transformation_count == 1
+
+    def test_p_at_ssw0rd_leet_against_leet_base(self, parser):
+        # p@ssword is itself in B, so p@ssw0rd parses with ONE leet op
+        # (o -> 0), exactly as the paper describes.
+        parse = parser.parse("p@ssw0rd")
+        assert parse.segments[0].base == "p@ssword"
+        assert parse.segments[0].toggled_offsets == (5,)
+        assert parse.transformation_count == 1
+
+    def test_123qwe123qwe_concatenation(self, parser):
+        parse = parser.parse("123qwe123qwe")
+        assert parse.structure == (6, 6)
+        assert [seg.base for seg in parse.segments] == ["123qwe", "123qwe"]
+
+    def test_tyxdqd123_unparseable_falls_back(self, parser):
+        # No trie entry starts with "tyx": base structure B6 B3 via the
+        # traditional PCFG treatment.
+        parse = parser.parse("tyxdqd123")
+        assert parse.structure == (6, 3)
+        assert all(
+            seg.kind is SegmentKind.FALLBACK for seg in parse.segments
+        )
+        assert not parse.uses_dictionary
+
+
+class TestParsingMechanics:
+    def test_parse_reassembles_surface(self, parser):
+        for password in ("password123", "P@ssw0rd!", "xyz987", "Dragon5"):
+            parse = parser.parse(password)
+            assert parse.to_derivation().surface() == password
+
+    def test_longest_prefix_preferred(self, parser):
+        # "qwe" and "123qwe" both in trie; from offset 0 of "123qwe..."
+        # the longest match wins.
+        parse = parser.parse("123qwexx")
+        assert parse.segments[0].base == "123qwe"
+
+    def test_fallback_capitalization_recorded(self, parser):
+        parse = parser.parse("Zebra123")
+        assert parse.segments[0].base == "zebra"
+        assert parse.segments[0].capitalized
+        assert parse.segments[0].kind is SegmentKind.FALLBACK
+
+    def test_fallback_runs_split_by_class(self, parser):
+        parse = parser.parse("zz99!!")
+        assert parse.structure == (2, 2, 2)
+        kinds = {seg.kind for seg in parse.segments}
+        assert kinds == {SegmentKind.FALLBACK}
+
+    def test_empty_password(self, parser):
+        parse = parser.parse("")
+        assert parse.segments == ()
+        assert parse.structure == ()
+
+    def test_dictionary_flag(self, parser):
+        assert parser.parse("password1").uses_dictionary
+        assert not parser.parse("zzzzz").uses_dictionary
+
+    def test_transform_flags_disabled(self):
+        trie = PrefixTrie(["password"])
+        no_cap = FuzzyParser(trie, allow_capitalization=False)
+        parse = no_cap.parse("Password")
+        # Without the capitalization rule the whole run is fallback.
+        assert parse.segments[0].kind is SegmentKind.FALLBACK
+
+    def test_mid_password_capitalization_allowed(self, parser):
+        # Capitalization applies to the first letter of each *segment*.
+        parse = parser.parse("123qweDragon")
+        assert parse.segments[1].base == "dragon"
+        assert parse.segments[1].capitalized

@@ -1,0 +1,139 @@
+"""Unit tests for password composition policies (paper Sec. II-B)."""
+
+import pytest
+
+from repro.core.policy import (
+    COMMON_POLICIES,
+    PasswordPolicy,
+    PolicyViolation,
+)
+from repro.datasets.corpus import PasswordCorpus
+
+
+class TestConstruction:
+    def test_defaults_match_survey_norm(self):
+        policy = PasswordPolicy()
+        assert policy.min_length == 6
+        assert policy.max_length == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PasswordPolicy(min_length=0)
+        with pytest.raises(ValueError):
+            PasswordPolicy(min_length=8, max_length=6)
+        with pytest.raises(ValueError):
+            PasswordPolicy(alphabet=frozenset())
+        with pytest.raises(ValueError):
+            PasswordPolicy(required_classes=("emoji",))
+
+    def test_common_policies(self):
+        assert COMMON_POLICIES["6-20"].max_length == 20
+        assert COMMON_POLICIES["6-16"].max_length == 16
+        assert "upper" in COMMON_POLICIES["complex"].required_classes
+
+
+class TestLengthRules:
+    def test_too_short(self):
+        policy = PasswordPolicy(min_length=6)
+        violations = policy.violations("abc")
+        assert [v.rule for v in violations] == ["min_length"]
+        assert not policy.is_allowed("abc")
+
+    def test_too_long(self):
+        policy = PasswordPolicy(min_length=1, max_length=8)
+        assert not policy.is_allowed("a" * 9)
+        assert policy.is_allowed("a" * 8)
+
+    def test_boundaries_inclusive(self):
+        policy = PasswordPolicy(min_length=6, max_length=20)
+        assert policy.is_allowed("a" * 6)
+        assert policy.is_allowed("a" * 20)
+
+
+class TestAlphabetRule:
+    def test_printable_ascii_default(self):
+        policy = PasswordPolicy()
+        assert policy.is_allowed("abcDEF123!@#")
+        assert not policy.is_allowed("passéword")  # é outside
+
+    def test_restricted_alphabet(self):
+        policy = PasswordPolicy(
+            min_length=1, alphabet=frozenset("0123456789")
+        )
+        assert policy.is_allowed("123456")
+        violations = policy.violations("12a456")
+        assert any(v.rule == "alphabet" for v in violations)
+        assert any("a" in v.message for v in violations)
+
+
+class TestRequiredClasses:
+    def test_require_digit(self):
+        policy = PasswordPolicy(required_classes=("digit",))
+        assert policy.is_allowed("abc123")
+        assert not policy.is_allowed("abcdef")
+
+    def test_require_multiple(self):
+        policy = PasswordPolicy(
+            min_length=6, required_classes=("upper", "digit", "symbol")
+        )
+        assert policy.is_allowed("Abc12!")
+        missing = {v.rule for v in policy.violations("abcdef")}
+        assert missing == {
+            "require_upper", "require_digit", "require_symbol"
+        }
+
+    def test_violation_messages(self):
+        policy = PasswordPolicy(required_classes=("upper",))
+        violation = policy.violations("abcdef")[0]
+        assert isinstance(violation, PolicyViolation)
+        assert "upper" in violation.message
+
+
+class TestCorpusOperations:
+    @pytest.fixture()
+    def corpus(self):
+        return PasswordCorpus(
+            {"123456": 4, "abc": 3, "longenough": 2, "x" * 30: 1},
+            name="toy",
+        )
+
+    def test_filter_corpus(self, corpus):
+        policy = PasswordPolicy(min_length=6, max_length=20)
+        filtered = policy.filter_corpus(corpus)
+        assert set(filtered) == {"123456", "longenough"}
+        assert filtered.count("123456") == 4
+
+    def test_filter_preserves_metadata_and_names(self, corpus):
+        policy = PasswordPolicy()
+        filtered = policy.filter_corpus(corpus)
+        assert "toy" in filtered.name
+        assert "6-20" in filtered.name
+        named = policy.filter_corpus(corpus, name="clean")
+        assert named.name == "clean"
+
+    def test_compliance_rate(self, corpus):
+        policy = PasswordPolicy(min_length=6, max_length=20)
+        assert policy.compliance_rate(corpus) == pytest.approx(6 / 10)
+
+    def test_compliance_rate_empty(self):
+        with pytest.raises(ValueError):
+            PasswordPolicy().compliance_rate(PasswordCorpus([]))
+
+    def test_policy_explains_csdn_length_spike(self):
+        """The paper attributes CSDN's length-8 spike to its policy;
+        filtering a mixed corpus by that policy reproduces the shape."""
+        from repro.datasets.synthetic import generate_corpus
+        corpus = generate_corpus("weibo", total=2_000, seed=5)
+        policy = PasswordPolicy(min_length=8, max_length=64)
+        filtered = policy.filter_corpus(corpus)
+        assert all(len(pw) >= 8 for pw in filtered)
+        assert filtered.total < corpus.total
+
+
+class TestDescribe:
+    def test_plain(self):
+        assert PasswordPolicy().describe() == "6-20"
+
+    def test_with_requirements(self):
+        policy = PasswordPolicy(required_classes=("digit", "upper"))
+        assert policy.describe() == "6-20+digit+upper"

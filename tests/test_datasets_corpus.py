@@ -1,0 +1,126 @@
+"""Unit tests for the PasswordCorpus container."""
+
+import random
+
+import pytest
+
+from repro.datasets.corpus import PasswordCorpus
+
+
+@pytest.fixture()
+def corpus():
+    return PasswordCorpus(
+        ["123456"] * 5 + ["password"] * 3 + ["dragon"] * 2,
+        name="toy", service="forum", location="USA", language="English",
+    )
+
+
+class TestConstruction:
+    def test_from_iterable(self, corpus):
+        assert corpus.total == 10
+        assert corpus.unique == 3
+
+    def test_from_mapping(self):
+        corpus = PasswordCorpus({"a": 2, "b": 1}, name="m")
+        assert corpus.total == 3
+        assert corpus.unique == 2
+        assert corpus.count("a") == 2
+
+    def test_metadata(self, corpus):
+        assert corpus.name == "toy"
+        assert corpus.service == "forum"
+        assert corpus.location == "USA"
+        assert corpus.language == "English"
+
+    def test_empty_corpus(self):
+        corpus = PasswordCorpus([])
+        assert corpus.total == 0
+        assert corpus.unique == 0
+
+
+class TestQueries:
+    def test_count_and_frequency(self, corpus):
+        assert corpus.count("123456") == 5
+        assert corpus.frequency("123456") == pytest.approx(0.5)
+        assert corpus.count("missing") == 0
+        assert corpus.frequency("missing") == 0.0
+
+    def test_contains(self, corpus):
+        assert "password" in corpus
+        assert "missing" not in corpus
+
+    def test_len_is_unique(self, corpus):
+        assert len(corpus) == 3
+
+    def test_iter_distinct(self, corpus):
+        assert sorted(corpus) == ["123456", "dragon", "password"]
+
+    def test_most_common_order(self, corpus):
+        assert [pw for pw, _ in corpus.most_common()] == [
+            "123456", "password", "dragon"
+        ]
+        assert corpus.most_common(1) == [("123456", 5)]
+
+    def test_counts_returns_fresh_dict(self, corpus):
+        counts = corpus.counts()
+        counts["123456"] = 0
+        assert corpus.count("123456") == 5
+
+    def test_expand_multiplicity(self, corpus):
+        expanded = list(corpus.expand())
+        assert len(expanded) == 10
+        assert expanded.count("dragon") == 2
+
+    def test_items(self, corpus):
+        assert dict(corpus.items()) == {
+            "123456": 5, "password": 3, "dragon": 2
+        }
+
+
+class TestSplit:
+    def test_split_preserves_total(self, corpus):
+        parts = corpus.split([0.5, 0.5], random.Random(1))
+        assert sum(part.total for part in parts) == corpus.total
+
+    def test_split_quarters(self):
+        corpus = PasswordCorpus([str(i) for i in range(100)])
+        parts = corpus.split([0.25, 0.25, 0.25, 0.25], random.Random(1))
+        assert [part.total for part in parts] == [25, 25, 25, 25]
+
+    def test_split_deterministic_given_rng(self, corpus):
+        first = corpus.split([0.5, 0.5], random.Random(42))
+        second = corpus.split([0.5, 0.5], random.Random(42))
+        assert first[0].counts() == second[0].counts()
+
+    def test_split_metadata_inherited(self, corpus):
+        part = corpus.split([0.5, 0.5], random.Random(1))[0]
+        assert part.language == "English"
+        assert "toy" in part.name
+
+    def test_split_validation(self, corpus):
+        with pytest.raises(ValueError):
+            corpus.split([])
+        with pytest.raises(ValueError):
+            corpus.split([0.5, -0.5, 1.0])
+        with pytest.raises(ValueError):
+            corpus.split([0.3, 0.3])
+
+
+class TestMerge:
+    def test_merged_with_adds_counts(self, corpus):
+        other = PasswordCorpus({"123456": 1, "new": 4}, name="other")
+        merged = corpus.merged_with(other)
+        assert merged.count("123456") == 6
+        assert merged.count("new") == 4
+        assert merged.total == corpus.total + other.total
+
+    def test_merged_name(self, corpus):
+        other = PasswordCorpus(["x"], name="other")
+        assert corpus.merged_with(other).name == "toy+other"
+        assert corpus.merged_with(other, name="combo").name == "combo"
+
+    def test_merge_does_not_mutate_operands(self, corpus):
+        other = PasswordCorpus({"123456": 1}, name="other")
+        corpus.merged_with(other)
+        assert corpus.count("123456") == 5
+        assert other.count("123456") == 1

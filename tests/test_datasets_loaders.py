@@ -1,0 +1,103 @@
+"""Unit tests for corpus file loading/saving (plain and counted)."""
+
+import pytest
+
+from repro.datasets.corpus import PasswordCorpus
+from repro.datasets.loaders import load_corpus, save_corpus
+
+
+@pytest.fixture()
+def corpus():
+    return PasswordCorpus(
+        {"123456": 3, "password": 2, "pass word": 1}, name="toy"
+    )
+
+
+class TestPlainFormat:
+    def test_round_trip(self, corpus, tmp_path):
+        path = tmp_path / "plain.txt"
+        save_corpus(corpus, str(path), fmt="plain")
+        loaded = load_corpus(str(path), fmt="plain")
+        assert loaded.counts() == corpus.counts()
+
+    def test_duplicates_counted(self, tmp_path):
+        path = tmp_path / "dups.txt"
+        path.write_text("abcdef\nabcdef\nxyzzyx\n")
+        loaded = load_corpus(str(path), fmt="plain")
+        assert loaded.count("abcdef") == 2
+        assert loaded.total == 3
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blanks.txt"
+        path.write_text("abcdef\n\n\nxyzzyx\n")
+        assert load_corpus(str(path), fmt="plain").total == 2
+
+    def test_overlong_lines_dropped(self, tmp_path):
+        path = tmp_path / "long.txt"
+        path.write_text("short\n" + "x" * 100 + "\n")
+        loaded = load_corpus(str(path), fmt="plain", max_length=64)
+        assert loaded.total == 1
+
+
+class TestCountedFormat:
+    def test_round_trip(self, corpus, tmp_path):
+        path = tmp_path / "counted.txt"
+        save_corpus(corpus, str(path), fmt="counted")
+        loaded = load_corpus(str(path), fmt="counted")
+        assert loaded.counts() == corpus.counts()
+
+    def test_password_with_spaces(self, corpus, tmp_path):
+        path = tmp_path / "counted.txt"
+        save_corpus(corpus, str(path), fmt="counted")
+        loaded = load_corpus(str(path), fmt="counted")
+        assert loaded.count("pass word") == 1
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("3 abcdef\nnot-a-count xyz\n2 qwerty\n")
+        loaded = load_corpus(str(path), fmt="counted")
+        assert loaded.counts() == {"abcdef": 3, "qwerty": 2}
+
+
+class TestAutoSniff:
+    def test_sniffs_counted(self, corpus, tmp_path):
+        path = tmp_path / "counted.txt"
+        save_corpus(corpus, str(path), fmt="counted")
+        loaded = load_corpus(str(path))  # fmt="auto"
+        assert loaded.counts() == corpus.counts()
+
+    def test_sniffs_plain(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("iloveyou\nsunshine\nprincess\n")
+        loaded = load_corpus(str(path))
+        assert loaded.total == 3
+
+    def test_plain_digit_passwords_not_misdetected(self, tmp_path):
+        # All-digit passwords have no second token, so the sniffer
+        # must not read them as counted lines.
+        path = tmp_path / "digits.txt"
+        path.write_text("123456\n111111\n000000\n")
+        loaded = load_corpus(str(path))
+        assert loaded.counts() == {"123456": 1, "111111": 1, "000000": 1}
+
+
+class TestValidation:
+    def test_unknown_load_format(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("abc\n")
+        with pytest.raises(ValueError):
+            load_corpus(str(path), fmt="exotic")
+
+    def test_unknown_save_format(self, corpus, tmp_path):
+        with pytest.raises(ValueError):
+            save_corpus(corpus, str(tmp_path / "x.txt"), fmt="exotic")
+
+    def test_default_name_is_file_stem(self, corpus, tmp_path):
+        path = tmp_path / "rockyou.txt"
+        save_corpus(corpus, str(path))
+        assert load_corpus(str(path)).name == "rockyou"
+
+    def test_explicit_name(self, corpus, tmp_path):
+        path = tmp_path / "file.txt"
+        save_corpus(corpus, str(path))
+        assert load_corpus(str(path), name="custom").name == "custom"

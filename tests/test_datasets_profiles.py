@@ -1,0 +1,162 @@
+"""Unit tests for the published dataset profiles (Tables VII-X)."""
+
+import pytest
+
+from repro.datasets.profiles import (
+    COMPOSITION_COLUMNS,
+    DATASET_ORDER,
+    LENGTH_BUCKETS,
+    PROFILES,
+    length_bucket,
+    profile,
+)
+
+
+class TestRegistry:
+    def test_eleven_datasets(self):
+        assert len(PROFILES) == 11
+        assert len(DATASET_ORDER) == 11
+
+    def test_order_matches_registry(self):
+        assert set(DATASET_ORDER) == set(PROFILES)
+
+    def test_lookup_case_insensitive(self):
+        assert profile("CSDN") is PROFILES["csdn"]
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            profile("myspace")
+
+
+class TestTableVII:
+    """Unique/total counts and metadata transcribed from Table VII."""
+
+    def test_tianya_counts(self):
+        p = profile("tianya")
+        assert p.unique_passwords == 12_898_437
+        assert p.total_passwords == 30_901_241
+
+    def test_rockyou_counts(self):
+        p = profile("rockyou")
+        assert p.unique_passwords == 14_326_970
+        assert p.total_passwords == 32_581_870
+
+    def test_faithwriters_smallest(self):
+        smallest = min(
+            PROFILES.values(), key=lambda p: p.total_passwords
+        )
+        assert smallest.name == "faithwriters"
+
+    def test_total_corpus_size(self):
+        # The paper reports 97.43 million passwords overall.
+        total = sum(p.total_passwords for p in PROFILES.values())
+        assert total == pytest.approx(97.4e6, rel=0.01)
+
+    def test_languages(self):
+        chinese = {p.name for p in PROFILES.values()
+                   if p.language == "Chinese"}
+        assert chinese == {"tianya", "dodonew", "csdn", "zhenai", "weibo"}
+
+    def test_duplication_factor(self):
+        p = profile("tianya")
+        assert p.duplication_factor == pytest.approx(
+            30_901_241 / 12_898_437
+        )
+        assert all(
+            p.duplication_factor >= 1.0 for p in PROFILES.values()
+        )
+
+
+class TestTableVIII:
+    def test_every_profile_has_top10(self):
+        for p in PROFILES.values():
+            assert len(p.top10) == 10
+            assert len(set(p.top10)) == 10
+
+    def test_known_heads(self):
+        assert profile("csdn").top10[0] == "123456789"
+        assert profile("tianya").top10[0] == "123456"
+        assert profile("faithwriters").top10[1] == "writer"
+
+    def test_top10_share_in_range(self):
+        for p in PROFILES.values():
+            assert 0.0 < p.top10_share < 0.2
+
+    def test_csdn_most_concentrated(self):
+        # Table VIII: CSDN's top-10 covers 10.44%, the highest share.
+        top = max(PROFILES.values(), key=lambda p: p.top10_share)
+        assert top.name == "csdn"
+        assert top.top10_share == pytest.approx(0.1044)
+
+
+class TestTableIX:
+    def test_all_columns_present(self):
+        for p in PROFILES.values():
+            assert set(p.composition) == set(COMPOSITION_COLUMNS)
+
+    def test_fractions_in_unit_interval(self):
+        for p in PROFILES.values():
+            for value in p.composition.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_digit_dominance_chinese_vs_english(self):
+        # Table IX's headline: Chinese datasets are digit-heavy,
+        # English ones letter-heavy.
+        assert profile("tianya").composition["^[0-9]+$"] > 0.5
+        assert profile("rockyou").composition["^[0-9]+$"] < 0.2
+        assert profile("phpbb").composition["^[a-z]+$"] > 0.5
+        assert profile("tianya").composition["^[a-z]+$"] < 0.2
+
+    def test_subset_columns_consistent(self):
+        # ^[a-z]+$ passwords are a subset of ^[A-Za-z]+$ ones.
+        for p in PROFILES.values():
+            assert (
+                p.composition["^[a-z]+$"]
+                <= p.composition["^[A-Za-z]+$"] + 1e-9
+            )
+            assert (
+                p.composition["^[A-Za-z]+$"]
+                <= p.composition["^[a-zA-Z0-9]+$"] + 1e-9
+            )
+
+
+class TestTableX:
+    def test_all_buckets_present(self):
+        for p in PROFILES.values():
+            assert set(p.length_distribution) == set(LENGTH_BUCKETS)
+
+    def test_distributions_sum_to_one(self):
+        for p in PROFILES.values():
+            assert sum(p.length_distribution.values()) == pytest.approx(
+                1.0, abs=0.001
+            )
+
+    def test_csdn_policy_visible(self):
+        # CSDN's length >= 8 policy: almost nothing below 8.
+        p = profile("csdn")
+        below8 = (
+            p.length_distribution["1-5"]
+            + p.length_distribution["6"]
+            + p.length_distribution["7"]
+        )
+        assert below8 < 0.03
+        assert p.min_length == 8
+
+    def test_singles_max_length(self):
+        p = profile("singles")
+        assert p.max_length == 8
+        assert p.length_distribution["9"] == 0.0
+
+
+class TestLengthBucket:
+    def test_short(self):
+        assert length_bucket(1) == "1-5"
+        assert length_bucket(5) == "1-5"
+
+    def test_exact(self):
+        for length in range(6, 15):
+            assert length_bucket(length) == str(length)
+
+    def test_long(self):
+        assert length_bucket(15) == "15+"
+        assert length_bucket(99) == "15+"

@@ -1,0 +1,128 @@
+"""Unit tests for corpus statistics (Tables VIII-X, Fig. 12)."""
+
+import pytest
+
+from repro.datasets.corpus import PasswordCorpus
+from repro.datasets.stats import (
+    composition_table,
+    length_table,
+    overlap_curve,
+    overlap_fraction,
+    summary_row,
+    top_k_table,
+)
+
+
+@pytest.fixture()
+def corpus():
+    return PasswordCorpus(
+        {
+            "123456": 10,
+            "password": 5,
+            "Password1": 3,
+            "p@ss": 2,
+        },
+        name="toy", service="forum", location="USA", language="English",
+    )
+
+
+class TestTopK:
+    def test_table_and_share(self, corpus):
+        table, share = top_k_table(corpus, k=2)
+        assert table == [("123456", 10), ("password", 5)]
+        assert share == pytest.approx(15 / 20)
+
+    def test_k_larger_than_corpus(self, corpus):
+        table, share = top_k_table(corpus, k=100)
+        assert len(table) == 4
+        assert share == pytest.approx(1.0)
+
+
+class TestComposition:
+    def test_digit_only_fraction(self, corpus):
+        fractions = composition_table(corpus)
+        assert fractions["^[0-9]+$"] == pytest.approx(10 / 20)
+
+    def test_lower_only_fraction(self, corpus):
+        fractions = composition_table(corpus)
+        assert fractions["^[a-z]+$"] == pytest.approx(5 / 20)
+
+    def test_alnum_fraction(self, corpus):
+        fractions = composition_table(corpus)
+        # Everything except "p@ss".
+        assert fractions["^[a-zA-Z0-9]+$"] == pytest.approx(18 / 20)
+
+    def test_substring_classes(self, corpus):
+        fractions = composition_table(corpus)
+        # Contains a lower-case letter: all but "123456".
+        assert fractions["[a-z]"] == pytest.approx(10 / 20)
+        # Contains an upper-case letter: only "Password1".
+        assert fractions["[A-Z]"] == pytest.approx(3 / 20)
+
+    def test_letters_then_digits(self, corpus):
+        fractions = composition_table(corpus)
+        assert fractions["^[a-zA-Z]+[0-9]+$"] == pytest.approx(3 / 20)
+
+
+class TestLengths:
+    def test_buckets(self, corpus):
+        fractions = length_table(corpus)
+        assert fractions["6"] == pytest.approx(10 / 20)   # 123456
+        assert fractions["8"] == pytest.approx(5 / 20)    # password
+        assert fractions["9"] == pytest.approx(3 / 20)    # Password1
+        assert fractions["1-5"] == pytest.approx(2 / 20)  # p@ss
+
+    def test_sums_to_one(self, corpus):
+        assert sum(length_table(corpus).values()) == pytest.approx(1.0)
+
+
+class TestOverlap:
+    def test_full_overlap(self, corpus):
+        assert overlap_fraction(corpus, corpus) == 1.0
+
+    def test_no_overlap(self, corpus):
+        other = PasswordCorpus(["entirely", "different"])
+        assert overlap_fraction(corpus, other) == 0.0
+
+    def test_partial_overlap(self, corpus):
+        other = PasswordCorpus(["123456", "password", "newpw"])
+        assert overlap_fraction(corpus, other) == pytest.approx(2 / 4)
+
+    def test_asymmetry(self, corpus):
+        other = PasswordCorpus(["123456"])
+        assert overlap_fraction(other, corpus) == 1.0
+        assert overlap_fraction(corpus, other) == pytest.approx(1 / 4)
+
+    def test_top_k_restriction(self, corpus):
+        other = PasswordCorpus({"p@ss": 9, "123456": 1})
+        # Top-1 of corpus is 123456; top-1 of other is p@ss.
+        assert overlap_fraction(corpus, other, k=1) == 0.0
+        assert overlap_fraction(corpus, other, k=2) == pytest.approx(0.5)
+
+    def test_negative_k_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            overlap_fraction(corpus, corpus, k=-1)
+
+    def test_overlap_curve(self, corpus):
+        other = PasswordCorpus({"123456": 5, "zzz": 1})
+        curve = overlap_curve(corpus, other, thresholds=[1, 2])
+        assert curve[0] == (1, 1.0)
+        assert curve[1][0] == 2
+
+    def test_empty_corpus_overlap(self):
+        empty = PasswordCorpus([])
+        other = PasswordCorpus(["x"])
+        assert overlap_fraction(empty, other) == 0.0
+
+
+class TestSummaryRow:
+    def test_fields(self, corpus):
+        row = summary_row(corpus)
+        assert row == {
+            "dataset": "toy",
+            "service": "forum",
+            "location": "USA",
+            "language": "English",
+            "unique": 4,
+            "total": 20,
+        }

@@ -1,0 +1,131 @@
+"""Consistency checks between the documentation and the code.
+
+A reproduction repo lives or dies by its docs staying true: DESIGN.md
+must reference bench files and modules that exist, README's layout
+must match the package, and every public export must resolve.
+"""
+
+import importlib
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _read(name):
+    with open(os.path.join(REPO_ROOT, name), encoding="utf-8") as handle:
+        return handle.read()
+
+
+class TestDesignDocument:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return _read("DESIGN.md")
+
+    def test_referenced_bench_files_exist(self, design):
+        for match in re.finditer(r"benchmarks/(test_\w+\.py)", design):
+            path = os.path.join(REPO_ROOT, "benchmarks", match.group(1))
+            assert os.path.exists(path), match.group(0)
+
+    def test_referenced_modules_importable(self, design):
+        for match in re.finditer(r"`(repro(?:\.\w+)+)`", design):
+            module = match.group(1)
+            # Strip attribute-style references like repro.core.meter.
+            try:
+                importlib.import_module(module)
+            except ModuleNotFoundError:
+                parent, _, attr = module.rpartition(".")
+                imported = importlib.import_module(parent)
+                assert hasattr(imported, attr), module
+
+    def test_every_table_and_figure_indexed(self, design):
+        # Tables I-XI and Figs 2-13 all appear in the experiment index.
+        for table in ("Table I", "Table II", "Table III", "Table VII",
+                      "Table VIII", "Table X", "Table XI"):
+            assert table in design
+        normalised = design.replace("Fig. ", "Fig ").replace(
+            "Figs ", "Fig "
+        )
+        for figure in ("Fig 9", "Fig 10", "Fig 12", "Fig 13"):
+            assert figure in normalised, figure
+
+    def test_no_wrong_paper_marker(self, design):
+        # Per the task contract, a title mismatch would be flagged at
+        # the top of DESIGN.md; assert we confirmed the match instead.
+        head = design[:600].lower()
+        assert "matches the title/venue/authors" in head
+        assert "mismatch" not in head
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return _read("README.md")
+
+    def test_layout_paths_exist(self, readme):
+        block = readme.split("```")[3]  # the architecture tree
+        for line in block.splitlines():
+            stripped = line.strip()
+            if stripped.endswith(".py") and "/" not in stripped:
+                continue
+            match = re.match(r"^(src/repro/[\w/]+\.?p?y?)", stripped)
+            if match:
+                assert os.path.exists(
+                    os.path.join(REPO_ROOT, match.group(1))
+                ), match.group(1)
+
+    def test_example_scripts_exist(self, readme):
+        for match in re.finditer(r"`(\w+\.py)`", readme):
+            name = match.group(1)
+            candidate = os.path.join(REPO_ROOT, "examples", name)
+            inside_package = any(
+                name in files
+                for _, _, files in os.walk(
+                    os.path.join(REPO_ROOT, "src")
+                )
+            )
+            assert os.path.exists(candidate) or inside_package, name
+
+    def test_cli_commands_documented_and_real(self, readme):
+        from repro.cli import _HANDLERS
+        for command in ("survey", "generate", "stats", "train",
+                        "measure", "guess", "experiment", "coach",
+                        "attack", "profile"):
+            assert command in _HANDLERS
+            assert f"repro {command}" in readme, command
+
+
+class TestExperimentsDocument:
+    @pytest.fixture(scope="class")
+    def experiments(self):
+        return _read("EXPERIMENTS.md")
+
+    def test_referenced_benches_exist(self, experiments):
+        for match in re.finditer(r"`(test_\w+\.py)`", experiments):
+            path = os.path.join(REPO_ROOT, "benchmarks", match.group(1))
+            assert os.path.exists(path), match.group(1)
+
+    def test_every_bench_file_documented(self, experiments):
+        bench_dir = os.path.join(REPO_ROOT, "benchmarks")
+        for name in os.listdir(bench_dir):
+            if name.startswith("test_") and name.endswith(".py"):
+                assert name in experiments or name.replace(
+                    ".py", ""
+                ) in experiments, name
+
+
+class TestPublicApi:
+    def test_top_level_exports_resolve(self):
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        for module_name in ("repro.core", "repro.meters",
+                            "repro.metrics", "repro.datasets",
+                            "repro.experiments", "repro.attacks"):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), (module_name, name)

@@ -1,0 +1,79 @@
+"""Unit tests for benchmark-output formatting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_curves,
+    format_percent,
+    format_ranking,
+    format_table,
+)
+from repro.experiments.runner import ExperimentResult, MeterCurve
+from repro.experiments.scenarios import scenario
+from repro.metrics.curves import CurvePoint
+
+
+@pytest.fixture()
+def result():
+    return ExperimentResult(
+        scenario=scenario("ideal-csdn"),
+        curves=(
+            MeterCurve("fuzzyPSM", (CurvePoint(10, 0.9), CurvePoint(50, 0.8))),
+            MeterCurve("NIST", (CurvePoint(10, 0.1), CurvePoint(50, 0.2))),
+        ),
+        test_unique=50,
+        metric_name="kendall",
+    )
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.0743) == "7.43%"
+
+    def test_digits(self):
+        assert format_percent(0.5, digits=0) == "50%"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["short", 1], ["a-much-longer-name", 22]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # Header and separator widths match the widest cell.
+        assert len(lines[1]) == len(lines[0])
+
+    def test_title(self):
+        text = format_table(["a"], [["x"]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatCurves:
+    def test_contains_meters_and_ks(self, result):
+        text = format_curves(result)
+        assert "fuzzyPSM" in text
+        assert "NIST" in text
+        assert "13(h)" in text
+        lines = text.splitlines()
+        assert lines[-1].startswith("50")
+
+    def test_values_formatted_signed(self, result):
+        text = format_curves(result)
+        assert "+0.900" in text
+        assert "+0.100" in text
+
+
+class TestFormatRanking:
+    def test_best_first(self, result):
+        text = format_ranking(result)
+        assert text.index("fuzzyPSM") < text.index("NIST")
+        assert " > " in text
+
+    def test_means_shown(self, result):
+        assert "+0.850" in format_ranking(result)  # fuzzyPSM mean

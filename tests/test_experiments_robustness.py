@@ -1,0 +1,87 @@
+"""Tests for the multi-seed robustness runner."""
+
+import pytest
+
+from repro.experiments.robustness import (
+    MeterRobustness,
+    run_scenario_across_seeds,
+)
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.scenarios import scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scenario_across_seeds(
+        scenario("ideal-csdn"),
+        seeds=(1, 2, 3),
+        config=ExperimentConfig(corpus_size=6_000,
+                                base_corpus_size=24_000),
+        min_frequency=2,
+        population=20_000,
+    )
+
+
+class TestAggregation:
+    def test_every_meter_has_one_rank_per_seed(self, result):
+        for entry in result.meters:
+            assert len(entry.ranks) == 3
+            assert len(entry.mean_taus) == 3
+
+    def test_ranks_are_permutations(self, result):
+        for index in range(3):
+            positions = sorted(
+                entry.ranks[index] for entry in result.meters
+            )
+            assert positions == list(range(len(result.meters)))
+
+    def test_mean_rank_statistics(self):
+        entry = MeterRobustness("m", ranks=(0, 2, 1), mean_taus=(0.5, 0.3, 0.4))
+        assert entry.mean_rank == pytest.approx(1.0)
+        assert entry.rank_stddev == pytest.approx((2 / 3) ** 0.5)
+        assert entry.mean_tau == pytest.approx(0.4)
+        assert entry.wins == 1
+
+    def test_ranking_sorted_by_mean_rank(self, result):
+        ranking = result.ranking()
+        means = [result.meter(name).mean_rank for name in ranking]
+        assert means == sorted(means)
+
+    def test_meter_lookup(self, result):
+        assert result.meter("fuzzyPSM").meter == "fuzzyPSM"
+        with pytest.raises(KeyError):
+            result.meter("nonexistent")
+
+    def test_rows_format(self, result):
+        rows = result.rows()
+        assert len(rows) == len(result.meters)
+        assert all(len(row) == 4 for row in rows)
+
+
+class TestQualitativeStability:
+    def test_nist_never_wins(self, result):
+        assert result.meter("NIST").wins == 0
+
+    def test_learned_meters_beat_nist_on_average(self, result):
+        nist = result.meter("NIST").mean_rank
+        for name in ("fuzzyPSM", "PCFG"):
+            assert result.meter(name).mean_rank < nist
+
+    def test_result_hook_called_per_seed(self):
+        calls = []
+        run_scenario_across_seeds(
+            scenario("ideal-csdn"),
+            seeds=(5, 6),
+            config=ExperimentConfig(
+                corpus_size=3_000, base_corpus_size=9_000,
+                meters=("fuzzyPSM", "NIST"),
+            ),
+            min_frequency=2,
+            population=10_000,
+            result_hook=lambda seed, res: calls.append(seed),
+        )
+        assert calls == [5, 6]
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario_across_seeds(scenario("ideal-csdn"), seeds=())

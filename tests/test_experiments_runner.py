@@ -1,0 +1,185 @@
+"""Integration tests for the scenario experiment runner."""
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticEcosystem
+from repro.experiments.runner import (
+    ExperimentConfig,
+    build_meters,
+    evaluate_meters,
+    prepare_scenario_data,
+    run_scenario,
+)
+from repro.experiments.scenarios import scenario
+from repro.metrics.rank import spearman_rho
+
+
+# Large enough that the paper's qualitative orderings are stable
+# (3k-sized corpora leave under ten f>=4 test passwords — pure noise).
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(corpus_size=12_000, base_corpus_size=60_000)
+
+
+@pytest.fixture(scope="module")
+def ecosystem():
+    return SyntheticEcosystem(seed=11, population=20_000)
+
+
+@pytest.fixture(scope="module")
+def ideal_result(ecosystem, config):
+    return run_scenario(
+        scenario("ideal-csdn"), ecosystem=ecosystem, config=config,
+        min_frequency=2,
+    )
+
+
+class TestPrepareScenarioData:
+    def test_ideal_case_quarters(self, ecosystem, config):
+        base, training, testing = prepare_scenario_data(
+            scenario("ideal-csdn"), ecosystem, config
+        )
+        assert base.total == config.base_corpus_size
+        assert training.total == config.corpus_size // 4
+        assert testing.total == config.corpus_size // 4
+
+    def test_real_case_composition(self, ecosystem, config):
+        base, training, testing = prepare_scenario_data(
+            scenario("real-csdn"), ecosystem, config
+        )
+        # Training = similar-service leak + one quarter of the test set.
+        assert training.total == (
+            config.corpus_size + config.corpus_size // 4
+        )
+        # Testing = the remaining three quarters.
+        assert testing.total == 3 * (config.corpus_size // 4)
+
+    def test_base_dataset_identity(self, ecosystem, config):
+        base, _, _ = prepare_scenario_data(
+            scenario("ideal-csdn"), ecosystem, config
+        )
+        assert base.name == "tianya"
+
+
+class TestBuildMeters:
+    def test_all_six_meters(self, ecosystem, config):
+        base, training, _ = prepare_scenario_data(
+            scenario("ideal-csdn"), ecosystem, config
+        )
+        meters = build_meters(base, training, config)
+        assert [m.name for m in meters] == list(config.meters)
+
+    def test_meter_subset(self, ecosystem, config):
+        base, training, _ = prepare_scenario_data(
+            scenario("ideal-csdn"), ecosystem, config
+        )
+        small = ExperimentConfig(
+            corpus_size=config.corpus_size,
+            base_corpus_size=config.base_corpus_size,
+            meters=("fuzzyPSM", "NIST"),
+        )
+        meters = build_meters(base, training, small)
+        assert [m.name for m in meters] == ["fuzzyPSM", "NIST"]
+
+    def test_unknown_meter_rejected(self, ecosystem, config):
+        base, training, _ = prepare_scenario_data(
+            scenario("ideal-csdn"), ecosystem, config
+        )
+        bad = ExperimentConfig(meters=("fuzzyPSM", "Crystal Ball"))
+        with pytest.raises(ValueError):
+            build_meters(base, training, bad)
+
+
+class TestRunScenario:
+    def test_result_shape(self, ideal_result, config):
+        assert ideal_result.scenario.name == "ideal-csdn"
+        assert len(ideal_result.curves) == len(config.meters)
+        assert ideal_result.metric_name == "kendall"
+        assert ideal_result.test_unique >= 2
+
+    def test_curves_share_grid(self, ideal_result):
+        grids = {
+            tuple(p.k for p in curve.points)
+            for curve in ideal_result.curves
+        }
+        assert len(grids) == 1
+
+    def test_correlations_in_range(self, ideal_result):
+        for curve in ideal_result.curves:
+            for point in curve.points:
+                assert -1.0 <= point.value <= 1.0
+
+    def test_curve_lookup(self, ideal_result):
+        assert ideal_result.curve("fuzzyPSM").meter == "fuzzyPSM"
+        with pytest.raises(KeyError):
+            ideal_result.curve("nonexistent")
+
+    def test_ranking_sorted_by_mean(self, ideal_result):
+        ranking = ideal_result.ranking()
+        means = [ideal_result.curve(name).mean for name in ranking]
+        assert means == sorted(means, reverse=True)
+
+    def test_academic_meters_beat_industry(self, ideal_result):
+        """The paper's cross-cutting finding (Sec. I, 'Some insights')."""
+        ranking = ideal_result.ranking()
+        best_academic = min(
+            ranking.index("fuzzyPSM"),
+            ranking.index("PCFG"),
+            ranking.index("Markov"),
+        )
+        worst_industry = max(
+            ranking.index("Zxcvbn"),
+            ranking.index("KeePSM"),
+            ranking.index("NIST"),
+        )
+        assert best_academic < worst_industry
+
+    def test_fuzzypsm_wins_on_weak_passwords(self, ecosystem, config):
+        """Headline result: fuzzyPSM best on frequent (weak) passwords."""
+        result = run_scenario(
+            scenario("ideal-csdn"), ecosystem=ecosystem, config=config,
+            min_frequency=4,
+        )
+        assert result.ranking()[0] == "fuzzyPSM"
+
+    def test_spearman_metric(self, ecosystem, config):
+        result = run_scenario(
+            scenario("ideal-csdn"), ecosystem=ecosystem, config=config,
+            metric=spearman_rho, metric_name="spearman", min_frequency=2,
+        )
+        assert result.metric_name == "spearman"
+        for curve in result.curves:
+            assert all(-1.0 <= p.value <= 1.0 for p in curve.points)
+
+    def test_kendall_and_spearman_agree_on_ranking(self, ecosystem,
+                                                   config, ideal_result):
+        """Fig. 9(a) vs 9(b): both metrics give nearly the same picture."""
+        spearman_result = run_scenario(
+            scenario("ideal-csdn"), ecosystem=ecosystem, config=config,
+            metric=spearman_rho, metric_name="spearman", min_frequency=2,
+        )
+        kendall_top = ideal_result.ranking()[:2]
+        spearman_top = spearman_result.ranking()[:2]
+        assert set(kendall_top) == set(spearman_top)
+
+
+class TestEvaluateMeters:
+    def test_min_frequency_filters(self, ecosystem, config):
+        base, training, testing = prepare_scenario_data(
+            scenario("ideal-csdn"), ecosystem, config
+        )
+        meters = build_meters(
+            base, training,
+            ExperimentConfig(meters=("NIST",)),
+        )
+        all_curves, n_all = evaluate_meters(meters, testing,
+                                            min_frequency=1)
+        popular_curves, n_popular = evaluate_meters(meters, testing,
+                                                    min_frequency=4)
+        assert n_popular < n_all
+
+    def test_too_few_passwords_rejected(self, ecosystem, config):
+        from repro.datasets.corpus import PasswordCorpus
+        tiny = PasswordCorpus(["one"])
+        with pytest.raises(ValueError):
+            evaluate_meters([], tiny)

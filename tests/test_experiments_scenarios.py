@@ -1,0 +1,79 @@
+"""Unit tests for the Table-XI scenario matrix."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    ALL_SCENARIOS,
+    CROSS_LANGUAGE_SCENARIOS,
+    IDEAL_SCENARIOS,
+    REAL_SCENARIOS,
+    scenario,
+)
+
+
+class TestMatrixShape:
+    def test_nine_ideal_scenarios(self):
+        # Fig. 13(a)-(i).
+        assert len(IDEAL_SCENARIOS) == 9
+
+    def test_seven_real_scenarios(self):
+        # Fig. 13(j)-(p).
+        assert len(REAL_SCENARIOS) == 7
+
+    def test_two_cross_language_scenarios(self):
+        # Fig. 13(q)-(r).
+        assert len(CROSS_LANGUAGE_SCENARIOS) == 2
+
+    def test_all_scenarios_union(self):
+        assert len(ALL_SCENARIOS) == 18
+
+    def test_unique_names_and_figures(self):
+        names = [s.name for s in ALL_SCENARIOS]
+        figures = [s.figure for s in ALL_SCENARIOS]
+        assert len(set(names)) == len(names)
+        assert len(set(figures)) == len(figures)
+
+
+class TestTableXIRows:
+    def test_base_dictionaries(self):
+        # Table XI: Rockyou for English, Tianya for Chinese.
+        for s in ALL_SCENARIOS:
+            assert s.base_dataset in ("rockyou", "tianya")
+
+    def test_ideal_scenarios_have_no_extra_training(self):
+        for s in IDEAL_SCENARIOS:
+            assert s.train_dataset is None
+            assert s.kind == "ideal"
+
+    def test_real_scenarios_training_sources(self):
+        # Table XI: Phpbb trains English targets, Weibo Chinese ones.
+        for s in REAL_SCENARIOS:
+            assert s.train_dataset in ("phpbb", "weibo")
+
+    def test_cross_language_rows(self):
+        dodonew = scenario("cross-dodonew")
+        assert dodonew.figure == "13(q)"
+        assert dodonew.base_dataset == "rockyou"
+        assert dodonew.train_dataset == "phpbb"
+        yahoo = scenario("cross-yahoo")
+        assert yahoo.figure == "13(r)"
+        assert yahoo.base_dataset == "tianya"
+        assert yahoo.train_dataset == "weibo"
+
+    def test_fig9_is_ideal_csdn(self):
+        s = scenario("ideal-csdn")
+        assert s.figure == "13(h)"
+        assert s.test_dataset == "csdn"
+
+    def test_language_group(self):
+        assert scenario("ideal-csdn").language_group == "Chinese"
+        assert scenario("ideal-phpbb").language_group == "English"
+
+
+class TestLookup:
+    def test_known(self):
+        assert scenario("real-yahoo").kind == "real"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            scenario("ideal-myspace")

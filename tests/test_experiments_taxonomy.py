@@ -1,0 +1,48 @@
+"""Tests for the Table-I guessing-attack taxonomy."""
+
+from repro.experiments.taxonomy import (
+    GUESSING_ATTACKS,
+    online_guess_budget,
+)
+
+
+class TestTableI:
+    def test_four_rows(self):
+        assert len(GUESSING_ATTACKS) == 4
+
+    def test_families_and_channels(self):
+        cells = {(a.family, a.channel) for a in GUESSING_ATTACKS}
+        assert cells == {
+            ("Trawling", "Online"), ("Trawling", "Offline"),
+            ("Targeted", "Online"), ("Targeted", "Offline"),
+        }
+
+    def test_only_trawling_considered(self):
+        for attack in GUESSING_ATTACKS:
+            assert attack.considered_in_paper == (
+                attack.family == "Trawling"
+            )
+
+    def test_personal_data_axis(self):
+        for attack in GUESSING_ATTACKS:
+            assert attack.uses_personal_data == (
+                attack.family == "Targeted"
+            )
+
+    def test_server_interaction_axis(self):
+        for attack in GUESSING_ATTACKS:
+            assert attack.interacts_with_server == (
+                attack.channel == "Online"
+            )
+
+    def test_online_constraint_is_lockout(self):
+        online = [a for a in GUESSING_ATTACKS if a.channel == "Online"]
+        assert all("lockout" in a.major_constraint.lower() for a in online)
+        assert all(a.guess_budget == "< 10^4" for a in online)
+
+    def test_offline_budget(self):
+        offline = [a for a in GUESSING_ATTACKS if a.channel == "Offline"]
+        assert all(a.guess_budget == "> 10^9" for a in offline)
+
+    def test_online_budget_value(self):
+        assert online_guess_budget() == 10_000

@@ -1,0 +1,130 @@
+"""Tests for the Table-II weak-password guess-number comparison."""
+
+import math
+
+import pytest
+
+from repro.core import FuzzyPSM
+from repro.datasets.corpus import PasswordCorpus
+from repro.experiments.weak_passwords import (
+    TYPICAL_WEAK_PASSWORDS,
+    WeakPasswordRow,
+    weak_password_table,
+)
+from repro.meters.nist import NISTMeter
+from repro.meters.pcfg import PCFGMeter
+
+
+@pytest.fixture(scope="module")
+def training_corpus():
+    # A corpus where the paper's weak passwords genuinely rank high.
+    counts = {
+        "password": 120,
+        "123456": 100,
+        "password123": 40,
+        "123qwe": 30,
+        "Password123": 8,
+        "p@ssw0rd": 6,
+        "123qwe123qwe": 5,
+    }
+    # Heavy tail of filler passwords.
+    for index in range(200):
+        counts[f"filler{index:03d}"] = 2
+    return PasswordCorpus(counts, name="toy-csdn")
+
+
+@pytest.fixture(scope="module")
+def meters(training_corpus):
+    items = list(training_corpus.items())
+    return [
+        FuzzyPSM.train(
+            base_dictionary=[pw for pw, _ in items], training=items
+        ),
+        PCFGMeter.train(items),
+        NISTMeter(),
+    ]
+
+
+@pytest.fixture(scope="module")
+def rows(meters, training_corpus):
+    return weak_password_table(
+        meters, training_corpus, sample_size=4_000, seed=1
+    )
+
+
+class TestTableStructure:
+    def test_paper_password_list(self):
+        assert TYPICAL_WEAK_PASSWORDS == (
+            "123qwe", "123qwe123qwe", "password123", "Password123",
+            "password", "p@ssw0rd",
+        )
+
+    def test_one_row_per_password(self, rows):
+        assert [row.password for row in rows] == list(
+            TYPICAL_WEAK_PASSWORDS
+        )
+
+    def test_training_ranks_present(self, rows, training_corpus):
+        by_password = {row.password: row for row in rows}
+        assert by_password["password"].training_rank == 1
+        # Every measured password appears in this training corpus, so
+        # each row carries its rank.
+        assert all(row.training_rank is not None for row in rows)
+
+    def test_every_meter_reported(self, rows, meters):
+        for row in rows:
+            assert set(row.guess_numbers) == (
+                {m.name for m in meters} | {"Ideal"}
+            )
+
+
+class TestGuessNumbers:
+    def test_ideal_guess_numbers_are_training_ranks(self, rows):
+        by_password = {row.password: row for row in rows}
+        assert by_password["password"].guess_numbers["Ideal"] == 1.0
+
+    def test_popular_passwords_get_small_numbers(self, rows):
+        by_password = {row.password: row for row in rows}
+        assert by_password["password"].guess_numbers["fuzzyPSM"] < 100
+
+    def test_rare_passwords_get_larger_numbers(self, rows):
+        by_password = {row.password: row for row in rows}
+        weak = by_password["password"].guess_numbers["fuzzyPSM"]
+        rare = by_password["p@ssw0rd"].guess_numbers["fuzzyPSM"]
+        assert rare > weak
+
+    def test_rule_based_meter_uses_entropy(self, rows, meters):
+        nist = next(m for m in meters if m.name == "NIST")
+        for row in rows:
+            assert row.guess_numbers["NIST"] == pytest.approx(
+                2.0 ** nist.entropy(row.password)
+            )
+
+    def test_fuzzy_psm_closest_on_most_rows(self, rows):
+        """Table II's takeaway: fuzzyPSM most accurate overall."""
+        closest = [row.closest_meter() for row in rows]
+        wins = closest.count("fuzzyPSM")
+        assert wins >= len(rows) // 2
+
+
+class TestClosestMeter:
+    def test_log_scale_distance(self):
+        row = WeakPasswordRow(
+            password="x", training_rank=1,
+            guess_numbers={"Ideal": 100.0, "A": 90.0, "B": 10_000.0},
+        )
+        assert row.closest_meter() == "A"
+
+    def test_infinite_ideal_gives_none(self):
+        row = WeakPasswordRow(
+            password="x", training_rank=None,
+            guess_numbers={"Ideal": math.inf, "A": 5.0},
+        )
+        assert row.closest_meter() is None
+
+    def test_infinite_candidates_skipped(self):
+        row = WeakPasswordRow(
+            password="x", training_rank=1,
+            guess_numbers={"Ideal": 10.0, "A": math.inf, "B": 20.0},
+        )
+        assert row.closest_meter() == "B"

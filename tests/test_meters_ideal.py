@@ -1,0 +1,70 @@
+"""Unit tests for the practically ideal meter (Sec. II-B)."""
+
+import pytest
+
+from repro.meters.ideal import RELIABLE_FREQUENCY, IdealMeter
+
+
+@pytest.fixture()
+def meter():
+    return IdealMeter(["123456"] * 6 + ["password"] * 4 + ["dragon"] * 2
+                      + ["rareone"])
+
+
+class TestProbability:
+    def test_empirical_probability(self, meter):
+        assert meter.probability("123456") == pytest.approx(6 / 13)
+        assert meter.probability("password") == pytest.approx(4 / 13)
+
+    def test_unseen_is_zero(self, meter):
+        assert meter.probability("nope") == 0.0
+
+    def test_probabilities_sum_to_one(self, meter):
+        total = sum(
+            meter.probability(pw) for pw in meter.distribution
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_from_mapping(self):
+        meter = IdealMeter({"a": 3, "b": 1})
+        assert meter.probability("a") == 0.75
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            IdealMeter([])
+
+
+class TestGuessNumbers:
+    def test_rank_order(self, meter):
+        assert meter.guess_number("123456") == 1
+        assert meter.guess_number("password") == 2
+        assert meter.guess_number("dragon") == 3
+        assert meter.guess_number("rareone") == 4
+
+    def test_unseen_has_no_rank(self, meter):
+        assert meter.guess_number("nope") is None
+
+    def test_top(self, meter):
+        assert meter.top(2) == [("123456", 6), ("password", 4)]
+
+
+class TestReliability:
+    def test_threshold_is_four(self):
+        assert RELIABLE_FREQUENCY == 4
+
+    def test_reliable_flags(self, meter):
+        assert meter.is_reliable("123456")
+        assert meter.is_reliable("password")
+        assert not meter.is_reliable("dragon")
+        assert not meter.is_reliable("nope")
+
+
+class TestGuessStream:
+    def test_iter_guesses_descending(self, meter):
+        guesses = list(meter.iter_guesses())
+        probs = [p for _, p in guesses]
+        assert probs == sorted(probs, reverse=True)
+        assert guesses[0][0] == "123456"
+
+    def test_limit(self, meter):
+        assert len(list(meter.iter_guesses(limit=2))) == 2

@@ -1,0 +1,74 @@
+"""Unit tests for the NIST SP-800-63 entropy meter."""
+
+import pytest
+
+from repro.meters.nist import NISTMeter, nist_entropy
+
+
+class TestEntropyFormula:
+    def test_empty(self):
+        assert nist_entropy("") == 0.0
+
+    def test_first_character(self):
+        assert nist_entropy("a") == 4.0
+
+    def test_characters_two_to_eight(self):
+        # 4 + 7 * 2 = 18 bits for an 8-char lower-case password.
+        assert nist_entropy("password") == 18.0
+
+    def test_characters_nine_to_twenty(self):
+        # 18 + 1.5 per char beyond 8.
+        assert nist_entropy("a" * 12) == 18.0 + 1.5 * 4
+
+    def test_characters_beyond_twenty(self):
+        assert nist_entropy("a" * 22) == 18.0 + 1.5 * 12 + 1.0 * 2
+
+    def test_composition_bonus(self):
+        # Upper case + non-alphabetic earns 6 bits.
+        assert nist_entropy("Passw0rd") == 18.0 + 6.0
+
+    def test_composition_bonus_requires_both(self):
+        assert nist_entropy("Password") == 18.0     # upper only
+        assert nist_entropy("passw0rd") == 18.0     # non-alpha only
+
+    def test_composition_bonus_disabled(self):
+        assert nist_entropy("Passw0rd", composition_bonus=False) == 18.0
+
+    def test_dictionary_bonus(self):
+        dictionary = {"password"}
+        assert nist_entropy("password", dictionary) == 18.0
+        assert nist_entropy("pQzwxyzr", dictionary) == 18.0 + 6.0
+
+    def test_dictionary_bonus_stops_at_twenty(self):
+        dictionary = {"password"}
+        long_password = "b" * 20
+        assert nist_entropy(long_password, dictionary) == (
+            4 + 2 * 7 + 1.5 * 12
+        )
+
+
+class TestMeter:
+    def test_probability_monotone_in_entropy(self):
+        meter = NISTMeter()
+        assert meter.probability("abc") > meter.probability("abcdefgh")
+
+    def test_dictionary_lookup_case_insensitive(self):
+        # PASSWORD lowercases to a dictionary word, so it earns no
+        # dictionary bonus; it has upper-case letters but no
+        # non-alphabetic character, so no composition bonus either.
+        # Both spellings therefore score the same 18 bits.
+        meter = NISTMeter(dictionary={"password"})
+        assert meter.entropy("PASSWORD") == pytest.approx(
+            meter.entropy("password")
+        )
+
+    def test_same_length_same_entropy_without_bonuses(self):
+        meter = NISTMeter()
+        assert meter.entropy("aaaaaaaa") == meter.entropy("zxqwvbnm")
+
+    def test_paper_motivating_examples(self):
+        # The NIST meter cannot distinguish password123 from a random
+        # 11-char string — the paper's core criticism of rule-based
+        # meters.
+        meter = NISTMeter()
+        assert meter.entropy("password123") == meter.entropy("kqzwxcvbnmj")

@@ -1,0 +1,121 @@
+"""Unit tests for cracking curves and guess-number scatter data."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import FuzzyPSM
+from repro.datasets.corpus import PasswordCorpus
+from repro.metrics.cracking import (
+    cracking_curve,
+    guess_number_scatter,
+    scatter_accuracy,
+    underivable_fraction,
+    CrackPoint,
+    ScatterPoint,
+)
+from repro.metrics.guessnumber import MonteCarloEstimator
+
+
+def _stream(pairs):
+    return iter(pairs)
+
+
+class TestCrackingCurve:
+    @pytest.fixture()
+    def test_corpus(self):
+        return PasswordCorpus({"aaa": 5, "bbb": 3, "ccc": 2})
+
+    def test_progression(self, test_corpus):
+        guesses = _stream([("aaa", 0.5), ("xxx", 0.3), ("bbb", 0.2)])
+        points = cracking_curve(guesses, test_corpus, [1, 2, 3])
+        assert points == [
+            CrackPoint(1, 0.5),
+            CrackPoint(2, 0.5),
+            CrackPoint(3, 0.8),
+        ]
+
+    def test_duplicates_skipped(self, test_corpus):
+        guesses = _stream([("aaa", 0.5), ("aaa", 0.5), ("bbb", 0.2)])
+        points = cracking_curve(guesses, test_corpus, [2])
+        # The duplicate does not consume a guess slot.
+        assert points == [CrackPoint(2, 0.8)]
+
+    def test_stream_exhaustion(self, test_corpus):
+        guesses = _stream([("aaa", 0.5)])
+        points = cracking_curve(guesses, test_corpus, [1, 100])
+        assert points[0].cracked_fraction == points[1].cracked_fraction
+
+    def test_monotone_nondecreasing(self, test_corpus):
+        guesses = _stream(
+            [("x1", 0.9), ("aaa", 0.5), ("x2", 0.4), ("ccc", 0.3),
+             ("bbb", 0.2)]
+        )
+        points = cracking_curve(guesses, test_corpus, [1, 2, 3, 4, 5])
+        values = [p.cracked_fraction for p in points]
+        assert values == sorted(values)
+
+    def test_validation(self, test_corpus):
+        with pytest.raises(ValueError):
+            cracking_curve(_stream([]), test_corpus, [])
+        with pytest.raises(ValueError):
+            cracking_curve(_stream([]), test_corpus, [0])
+        with pytest.raises(ValueError):
+            cracking_curve(_stream([]), PasswordCorpus([]), [1])
+
+
+class TestScatterPoints:
+    def test_log_error(self):
+        point = ScatterPoint("pw", ideal_rank=100,
+                             model_guess_number=1000.0)
+        assert point.log_error == pytest.approx(1.0)
+
+    def test_log_error_infinite(self):
+        point = ScatterPoint("pw", ideal_rank=5,
+                             model_guess_number=math.inf)
+        assert point.log_error == math.inf
+
+    def test_scatter_accuracy(self):
+        points = [
+            ScatterPoint("a", 10, 100.0),    # error 1
+            ScatterPoint("b", 10, 10.0),     # error 0
+            ScatterPoint("c", 10, math.inf),  # excluded
+        ]
+        assert scatter_accuracy(points) == pytest.approx(0.5)
+
+    def test_underivable_fraction(self):
+        points = [
+            ScatterPoint("a", 1, 1.0),
+            ScatterPoint("b", 2, math.inf),
+        ]
+        assert underivable_fraction(points) == pytest.approx(0.5)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_accuracy([])
+        with pytest.raises(ValueError):
+            underivable_fraction([])
+        with pytest.raises(ValueError):
+            scatter_accuracy([ScatterPoint("a", 1, math.inf)])
+
+
+class TestScatterEndToEnd:
+    def test_fig10_style_run(self):
+        counts = {"password": 50, "123456": 40, "dragon": 10,
+                  "letmein": 5, "zxqvkm": 1}
+        corpus = PasswordCorpus(counts, name="toy")
+        meter = FuzzyPSM.train(
+            base_dictionary=list(counts), training=list(counts.items())
+        )
+        estimator = MonteCarloEstimator(
+            meter, sample_size=3_000, rng=random.Random(0)
+        )
+        points = guess_number_scatter(estimator, meter, corpus,
+                                      max_rank=4)
+        assert len(points) == 4
+        assert points[0].password == "password"
+        assert points[0].ideal_rank == 1
+        # A well-trained meter on its own training head should sit near
+        # the diagonal.
+        assert scatter_accuracy(points) < 1.5

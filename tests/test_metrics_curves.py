@@ -1,0 +1,84 @@
+"""Unit tests for top-k correlation curves."""
+
+import pytest
+
+from repro.metrics.curves import (
+    CurvePoint,
+    correlation_curve,
+    curve_summary,
+    log_grid,
+)
+from repro.metrics.rank import spearman_rho
+
+
+class TestLogGrid:
+    def test_ends_at_n(self):
+        assert log_grid(5000)[-1] == 5000
+
+    def test_monotone_unique(self):
+        grid = log_grid(100_000)
+        assert grid == sorted(set(grid))
+
+    def test_small_n(self):
+        assert log_grid(12)[-1] == 12
+        assert log_grid(12)[0] <= 12
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            log_grid(1)
+
+
+class TestCorrelationCurve:
+    def test_perfect_meter_scores_one_everywhere(self):
+        ideal = [0.5, 0.3, 0.1, 0.05, 0.03, 0.02, 0.01, 0.005, 0.002, 0.001]
+        points = correlation_curve(ideal, list(ideal), ks=[2, 5, 10])
+        assert all(p.value == pytest.approx(1.0) for p in points)
+
+    def test_reversed_meter_scores_minus_one(self):
+        ideal = [float(10 - i) for i in range(10)]
+        meter = [float(i) for i in range(10)]
+        points = correlation_curve(ideal, meter, ks=[10])
+        assert points[0].value == pytest.approx(-1.0)
+
+    def test_prefix_order_is_by_ideal_rank(self):
+        # Meter agrees on the top half, disagrees on the bottom half:
+        # small-k correlation must exceed full-k correlation.
+        ideal = [0.4, 0.3, 0.1, 0.05, 0.04, 0.03, 0.02, 0.01]
+        meter = [0.4, 0.3, 0.1, 0.05, 0.01, 0.02, 0.03, 0.04]
+        points = correlation_curve(ideal, meter, ks=[4, 8])
+        assert points[0].value > points[1].value
+
+    def test_k_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            correlation_curve([1.0, 0.5], [1.0, 0.5], ks=[3])
+        with pytest.raises(ValueError):
+            correlation_curve([1.0, 0.5], [1.0, 0.5], ks=[1])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            correlation_curve([1.0], [1.0, 0.5])
+
+    def test_alternate_metric(self):
+        ideal = [0.5, 0.25, 0.125, 0.0625]
+        meter = [0.4, 0.3, 0.2, 0.1]
+        points = correlation_curve(
+            ideal, meter, ks=[4], metric=spearman_rho
+        )
+        assert points[0].value == pytest.approx(1.0)
+
+    def test_default_grid_used(self):
+        ideal = [1.0 / (i + 1) for i in range(50)]
+        points = correlation_curve(ideal, list(ideal))
+        assert points[-1].k == 50
+
+
+class TestSummary:
+    def test_mean_and_final(self):
+        points = [CurvePoint(10, 0.5), CurvePoint(100, 0.7)]
+        mean, final = curve_summary(points)
+        assert mean == pytest.approx(0.6)
+        assert final == pytest.approx(0.7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            curve_summary([])

@@ -1,0 +1,120 @@
+"""Unit tests for Monte-Carlo and enumeration guess numbers."""
+
+import math
+import random
+
+import pytest
+
+from repro.meters.ideal import IdealMeter
+from repro.metrics.guessnumber import (
+    MonteCarloEstimator,
+    guess_numbers_by_enumeration,
+)
+
+
+class UniformModel:
+    """A toy model: N equally likely passwords (guess number ~ N/2)."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def sample(self, rng):
+        index = rng.randrange(self.n)
+        return f"pw{index}", 1.0 / self.n
+
+
+class SkewedModel:
+    """Two-point distribution: one popular and many rare passwords."""
+
+    def sample(self, rng):
+        if rng.random() < 0.5:
+            return "popular", 0.5
+        index = rng.randrange(500)
+        return f"rare{index}", 0.001
+
+
+class TestMonteCarlo:
+    def test_uniform_model_estimates_count(self):
+        model = UniformModel(1000)
+        estimator = MonteCarloEstimator(
+            model, sample_size=2000, rng=random.Random(0)
+        )
+        # Guess number of probability 1/1000 password: every sample has
+        # equal probability, none strictly greater -> estimate 1.
+        assert estimator.guess_number(1.0 / 1000) == pytest.approx(1.0)
+        # A less probable password ranks after all 1000.
+        estimate = estimator.guess_number(1.0 / 100000)
+        assert estimate == pytest.approx(1001, rel=0.1)
+
+    def test_skewed_model(self):
+        estimator = MonteCarloEstimator(
+            SkewedModel(), sample_size=4000, rng=random.Random(1)
+        )
+        assert estimator.guess_number(0.5) == pytest.approx(1.0)
+        # The rare passwords come after the popular one.
+        assert 1 < estimator.guess_number(0.001) < 10
+        assert estimator.guess_number(0.0000001) == pytest.approx(
+            1 + 1 + 500, rel=0.2
+        )
+
+    def test_zero_probability_is_infinite(self):
+        estimator = MonteCarloEstimator(
+            UniformModel(10), sample_size=100, rng=random.Random(2)
+        )
+        assert math.isinf(estimator.guess_number(0.0))
+
+    def test_negative_probability_rejected(self):
+        estimator = MonteCarloEstimator(
+            UniformModel(10), sample_size=10, rng=random.Random(3)
+        )
+        with pytest.raises(ValueError):
+            estimator.guess_number(-0.1)
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(ValueError):
+            MonteCarloEstimator(UniformModel(10), sample_size=0)
+
+    def test_monotone_in_probability(self):
+        estimator = MonteCarloEstimator(
+            SkewedModel(), sample_size=2000, rng=random.Random(4)
+        )
+        values = [estimator.guess_number(p)
+                  for p in (0.5, 0.01, 0.001, 0.00001)]
+        assert values == sorted(values)
+
+    def test_batch(self):
+        estimator = MonteCarloEstimator(
+            UniformModel(10), sample_size=100, rng=random.Random(5)
+        )
+        batch = estimator.guess_numbers([0.1, 0.05])
+        assert batch == [estimator.guess_number(0.1),
+                         estimator.guess_number(0.05)]
+
+
+class TestEnumerationGuessNumbers:
+    def test_ranks_assigned(self):
+        ideal = IdealMeter(["a"] * 5 + ["b"] * 3 + ["c"])
+        results = guess_numbers_by_enumeration(
+            ideal.iter_guesses(), targets=["b", "c", "zzz"], limit=100
+        )
+        assert results["b"] == 2
+        assert results["c"] == 3
+        assert results["zzz"] is None
+
+    def test_limit_respected(self):
+        ideal = IdealMeter(["a"] * 3 + ["b"] * 2 + ["c"])
+        results = guess_numbers_by_enumeration(
+            ideal.iter_guesses(), targets=["c"], limit=2
+        )
+        assert results["c"] is None
+
+    def test_duplicates_counted_once(self):
+        guesses = iter([("a", 0.5), ("a", 0.5), ("b", 0.3)])
+        results = guess_numbers_by_enumeration(
+            guesses, targets=["b"], limit=10
+        )
+        assert results["b"] == 2
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            guess_numbers_by_enumeration(iter([]), targets=["a"], limit=0)

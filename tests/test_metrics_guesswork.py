@@ -1,0 +1,152 @@
+"""Unit tests for partial guessing metrics (Bonneau, S&P 2012)."""
+
+import math
+
+import pytest
+
+from repro.datasets.corpus import PasswordCorpus
+from repro.metrics.guesswork import (
+    alpha_guesswork,
+    alpha_work_factor,
+    beta_success_rate,
+    compare_profiles,
+    effective_beta_bits,
+    effective_guesswork_bits,
+    guessing_profile,
+    min_entropy,
+    shannon_entropy,
+)
+
+
+@pytest.fixture()
+def skewed():
+    # p = 0.5, 0.3, 0.2
+    return PasswordCorpus(["a"] * 5 + ["b"] * 3 + ["c"] * 2)
+
+
+@pytest.fixture()
+def uniform():
+    return PasswordCorpus({f"pw{i:04d}": 1 for i in range(1024)})
+
+
+class TestMinEntropy:
+    def test_skewed(self, skewed):
+        assert min_entropy(skewed) == pytest.approx(1.0)
+
+    def test_uniform(self, uniform):
+        assert min_entropy(uniform) == pytest.approx(10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            min_entropy(PasswordCorpus([]))
+
+
+class TestShannon:
+    def test_uniform_is_log_n(self, uniform):
+        assert shannon_entropy(uniform) == pytest.approx(10.0)
+
+    def test_skewed_below_uniform(self, skewed):
+        assert shannon_entropy(skewed) < math.log2(3)
+
+    def test_overstates_guessability(self, uniform):
+        """The paper's point (after [17], [18]): Shannon entropy hides
+        skew.  A distribution with half its mass on one password still
+        has high Shannon entropy but trivial online guessability."""
+        head_heavy = PasswordCorpus(
+            {"123456": 1024, **{f"pw{i}": 1 for i in range(1024)}}
+        )
+        assert shannon_entropy(head_heavy) > 5.0
+        assert beta_success_rate(head_heavy, 1) == pytest.approx(0.5)
+
+
+class TestBetaSuccessRate:
+    def test_values(self, skewed):
+        assert beta_success_rate(skewed, 1) == pytest.approx(0.5)
+        assert beta_success_rate(skewed, 2) == pytest.approx(0.8)
+        assert beta_success_rate(skewed, 3) == pytest.approx(1.0)
+
+    def test_beta_beyond_support(self, skewed):
+        assert beta_success_rate(skewed, 100) == pytest.approx(1.0)
+
+    def test_monotone(self, uniform):
+        rates = [beta_success_rate(uniform, b) for b in (1, 10, 100)]
+        assert rates == sorted(rates)
+
+    def test_validation(self, skewed):
+        with pytest.raises(ValueError):
+            beta_success_rate(skewed, 0)
+
+    def test_effective_bits_uniform(self, uniform):
+        # Uniform over 2^10: every budget yields 10 bits.
+        for beta in (1, 16, 256):
+            assert effective_beta_bits(uniform, beta) == pytest.approx(
+                10.0
+            )
+
+    def test_effective_bits_skew_lowers(self, skewed, uniform):
+        assert effective_beta_bits(skewed, 1) < effective_beta_bits(
+            uniform, 1
+        )
+
+
+class TestAlphaWorkFactor:
+    def test_values(self, skewed):
+        assert alpha_work_factor(skewed, 0.5) == 1
+        assert alpha_work_factor(skewed, 0.8) == 2
+        assert alpha_work_factor(skewed, 1.0) == 3
+
+    def test_uniform(self, uniform):
+        assert alpha_work_factor(uniform, 0.5) == 512
+
+    def test_validation(self, skewed):
+        with pytest.raises(ValueError):
+            alpha_work_factor(skewed, 0.0)
+        with pytest.raises(ValueError):
+            alpha_work_factor(skewed, 1.5)
+
+
+class TestAlphaGuesswork:
+    def test_full_coverage_is_expected_guesses(self, skewed):
+        # G_1 = sum p_i * i = 0.5*1 + 0.3*2 + 0.2*3 = 1.7
+        assert alpha_guesswork(skewed, 1.0) == pytest.approx(1.7)
+
+    def test_partial(self, skewed):
+        # mu_0.5 = 1, lambda = 0.5: G = 0.5 * 1 + 0.5 * 1 = 1.0
+        assert alpha_guesswork(skewed, 0.5) == pytest.approx(1.0)
+
+    def test_effective_bits_uniform_invariant(self, uniform):
+        """Bonneau's calibration: G-tilde of a uniform distribution is
+        log2(N) at every alpha."""
+        for alpha in (0.25, 0.5, 1.0):
+            assert effective_guesswork_bits(
+                uniform, alpha
+            ) == pytest.approx(10.0, abs=0.01)
+
+    def test_skew_lowers_effective_bits(self, skewed):
+        assert effective_guesswork_bits(skewed, 0.5) < math.log2(3)
+
+
+class TestProfiles:
+    def test_profile_fields(self, skewed):
+        profile = guessing_profile(skewed, online_budget=2)
+        assert profile.corpus == "unnamed"
+        assert profile.online_success_rate == pytest.approx(0.8)
+        assert profile.offline_work_factor == 1
+
+    def test_compare_orders_weakest_first(self, uniform):
+        weak = PasswordCorpus(["123456"] * 90 + ["other"] * 10,
+                              name="weak")
+        profiles = compare_profiles([uniform, weak], online_budget=1)
+        assert profiles[0].corpus == "weak"
+
+    def test_synthetic_corpora_ordering(self):
+        """CSDN (top-10 share 10.4%) must profile as weaker against an
+        online attacker than Rockyou (2.05%) — Table VIII's shares
+        directly bound the online success rates."""
+        from repro.datasets.synthetic import SyntheticEcosystem
+        ecosystem = SyntheticEcosystem(seed=13, population=10_000)
+        csdn = ecosystem.generate("csdn", total=6_000)
+        rockyou = ecosystem.generate("rockyou", total=6_000)
+        assert beta_success_rate(csdn, 10) > beta_success_rate(
+            rockyou, 10
+        )

@@ -1,0 +1,90 @@
+"""Unit tests for Spearman rho and Kendall tau-b (validated vs scipy)."""
+
+import random
+
+import pytest
+import scipy.stats
+
+from repro.metrics.rank import kendall_tau, rankdata, spearman_rho
+
+
+class TestRankdata:
+    def test_no_ties(self):
+        assert rankdata([30, 10, 20]) == [3.0, 1.0, 2.0]
+
+    def test_average_ranks_for_ties(self):
+        assert rankdata([10, 20, 20, 30]) == [1.0, 2.5, 2.5, 4.0]
+
+    def test_all_tied(self):
+        assert rankdata([5, 5, 5]) == [2.0, 2.0, 2.0]
+
+    def test_matches_scipy(self):
+        rng = random.Random(1)
+        values = [rng.randrange(10) for _ in range(200)]
+        ours = rankdata(values)
+        theirs = scipy.stats.rankdata(values)
+        assert ours == pytest.approx(list(theirs))
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert spearman_rho([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert spearman_rho([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_vector_is_zero(self):
+        assert spearman_rho([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_rho([1], [1, 2])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            spearman_rho([1], [2])
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_scipy_with_ties(self, seed):
+        rng = random.Random(seed)
+        n = 300
+        x = [rng.randrange(20) for _ in range(n)]
+        y = [xi + rng.randrange(10) for xi in x]
+        expected = scipy.stats.spearmanr(x, y).statistic
+        assert spearman_rho(x, y) == pytest.approx(expected, abs=1e-10)
+
+
+class TestKendall:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [1, 2, 3, 4]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_single_swap(self):
+        assert kendall_tau([1, 2, 3, 4], [1, 3, 2, 4]) == pytest.approx(
+            2 / 3
+        )
+
+    def test_constant_vector_is_zero(self):
+        assert kendall_tau([7, 7, 7], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1])
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_scipy_with_ties(self, seed):
+        rng = random.Random(seed)
+        n = 250
+        x = [rng.randrange(15) for _ in range(n)]
+        y = [rng.randrange(15) for _ in range(n)]
+        expected = scipy.stats.kendalltau(x, y).statistic
+        assert kendall_tau(x, y) == pytest.approx(expected, abs=1e-10)
+
+    def test_matches_scipy_continuous(self):
+        rng = random.Random(9)
+        x = [rng.random() for _ in range(400)]
+        y = [xi + rng.random() * 0.3 for xi in x]
+        expected = scipy.stats.kendalltau(x, y).statistic
+        assert kendall_tau(x, y) == pytest.approx(expected, abs=1e-10)

@@ -1,0 +1,54 @@
+"""Unit tests for un-usable guess counting (Table III)."""
+
+import pytest
+
+from repro.metrics.unusable import count_unusable_guesses
+
+
+def stream(*guesses):
+    return iter((g, 1.0 / (i + 1)) for i, g in enumerate(guesses))
+
+
+class TestCounting:
+    def test_all_usable(self):
+        result = count_unusable_guesses(
+            stream("a", "b", "c"), ["a", "b", "c"], checkpoints=[3]
+        )
+        assert result == {3: 0}
+
+    def test_all_unusable(self):
+        result = count_unusable_guesses(
+            stream("x", "y", "z"), ["a"], checkpoints=[2, 3]
+        )
+        assert result == {2: 2, 3: 3}
+
+    def test_mixed_at_checkpoints(self):
+        result = count_unusable_guesses(
+            stream("a", "x", "b", "y"), ["a", "b"], checkpoints=[1, 2, 4]
+        )
+        assert result == {1: 0, 2: 1, 4: 2}
+
+    def test_duplicates_skipped(self):
+        guesses = iter([("a", 0.9), ("a", 0.9), ("x", 0.5)])
+        result = count_unusable_guesses(guesses, ["a"], checkpoints=[2])
+        assert result == {2: 1}
+
+    def test_stream_exhausted_before_checkpoint(self):
+        result = count_unusable_guesses(
+            stream("x", "a"), ["a"], checkpoints=[10]
+        )
+        assert result == {10: 1}
+
+    def test_checkpoints_unsorted_input(self):
+        result = count_unusable_guesses(
+            stream("x", "y", "z"), [], checkpoints=[3, 1]
+        )
+        assert result == {1: 1, 3: 3}
+
+    def test_empty_checkpoints_rejected(self):
+        with pytest.raises(ValueError):
+            count_unusable_guesses(stream("a"), ["a"], checkpoints=[])
+
+    def test_nonpositive_checkpoint_rejected(self):
+        with pytest.raises(ValueError):
+            count_unusable_guesses(stream("a"), ["a"], checkpoints=[0])

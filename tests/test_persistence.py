@@ -1,0 +1,128 @@
+"""Unit tests for meter serialisation (save_meter / load_meter)."""
+
+import json
+
+import pytest
+
+from repro.core import FuzzyPSM
+from repro.meters.markov import MarkovMeter, Smoothing
+from repro.meters.pcfg import PCFGMeter
+from repro.persistence import (
+    load_meter,
+    meter_from_dict,
+    meter_to_dict,
+    save_meter,
+)
+
+PASSWORDS = [
+    "password", "password", "password123", "Password123", "p@ssw0rd",
+    "123456", "123456", "dragon1", "letmein!", "qwerty12",
+]
+
+
+@pytest.fixture(scope="module")
+def fuzzy():
+    return FuzzyPSM.train(base_dictionary=PASSWORDS, training=PASSWORDS)
+
+
+@pytest.fixture(scope="module")
+def pcfg():
+    return PCFGMeter.train(PASSWORDS)
+
+
+@pytest.fixture(scope="module")
+def markov():
+    return MarkovMeter.train(PASSWORDS, order=2,
+                             smoothing=Smoothing.LAPLACE)
+
+
+PROBES = ["password", "password123", "P@ssw0rd9", "dragon1", "zzz!!!"]
+
+
+class TestRoundTrips:
+    def test_fuzzy_round_trip(self, fuzzy, tmp_path):
+        path = str(tmp_path / "fuzzy.json")
+        save_meter(fuzzy, path)
+        loaded = load_meter(path)
+        assert isinstance(loaded, FuzzyPSM)
+        for probe in PROBES:
+            assert loaded.probability(probe) == fuzzy.probability(probe)
+
+    def test_pcfg_round_trip(self, pcfg, tmp_path):
+        path = str(tmp_path / "pcfg.json")
+        save_meter(pcfg, path)
+        loaded = load_meter(path)
+        assert isinstance(loaded, PCFGMeter)
+        for probe in PROBES:
+            assert loaded.probability(probe) == pcfg.probability(probe)
+
+    def test_markov_round_trip(self, markov, tmp_path):
+        path = str(tmp_path / "markov.json")
+        save_meter(markov, path)
+        loaded = load_meter(path)
+        assert isinstance(loaded, MarkovMeter)
+        assert loaded.order == markov.order
+        assert loaded.smoothing is Smoothing.LAPLACE
+        for probe in PROBES:
+            assert loaded.probability(probe) == markov.probability(probe)
+
+    def test_markov_control_characters_survive_json(self, markov,
+                                                    tmp_path):
+        # Contexts contain the \x02 START padding; JSON must keep them.
+        path = str(tmp_path / "markov.json")
+        save_meter(markov, path)
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        contexts = document["model"]["transitions"][2]
+        assert any("\x02" in context for context in contexts)
+
+    def test_fuzzy_guesses_survive_round_trip(self, fuzzy, tmp_path):
+        path = str(tmp_path / "fuzzy.json")
+        save_meter(fuzzy, path)
+        loaded = load_meter(path)
+        original = list(fuzzy.iter_guesses(limit=30))
+        restored = list(loaded.iter_guesses(limit=30))
+        assert original == restored
+
+    def test_loaded_fuzzy_still_updates(self, fuzzy, tmp_path):
+        path = str(tmp_path / "fuzzy.json")
+        save_meter(fuzzy, path)
+        loaded = load_meter(path)
+        before = loaded.probability("brandnew99")
+        loaded.accept("brandnew99", count=5)
+        assert loaded.probability("brandnew99") > before
+        # The original is untouched.
+        assert fuzzy.probability("brandnew99") == before
+
+
+class TestDocumentFormat:
+    def test_kind_tags(self, fuzzy, pcfg, markov):
+        assert meter_to_dict(fuzzy)["kind"] == "fuzzypsm"
+        assert meter_to_dict(pcfg)["kind"] == "pcfg"
+        assert meter_to_dict(markov)["kind"] == "markov"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            meter_from_dict(
+                {"format_version": 1, "kind": "oracle", "model": {}}
+            )
+
+    def test_wrong_version_rejected(self, fuzzy):
+        document = meter_to_dict(fuzzy)
+        document["format_version"] = 999
+        with pytest.raises(ValueError):
+            meter_from_dict(document)
+
+    def test_unsupported_meter_type_rejected(self):
+        from repro.meters.nist import NISTMeter
+        with pytest.raises(TypeError):
+            meter_to_dict(NISTMeter())
+
+    def test_document_is_plain_json(self, fuzzy):
+        # Must survive a strict JSON round trip (no exotic types).
+        document = meter_to_dict(fuzzy)
+        restored = json.loads(json.dumps(document))
+        clone = meter_from_dict(restored)
+        assert clone.probability("password") == fuzzy.probability(
+            "password"
+        )

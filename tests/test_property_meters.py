@@ -1,0 +1,104 @@
+"""Property-based tests for the baseline meters."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.meters.keepsm import KeePSMMeter
+from repro.meters.markov import MarkovMeter, Smoothing
+from repro.meters.nist import NISTMeter, nist_entropy
+from repro.meters.pcfg import PCFGMeter, password_slots
+from repro.meters.zxcvbn import ZxcvbnMeter
+from repro.util.charclasses import segment_by_class
+
+printable = st.text(
+    alphabet=string.ascii_letters + string.digits + "!@#._-",
+    min_size=1, max_size=16,
+)
+
+
+class TestPCFGProperties:
+    @given(st.lists(printable, min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_training_passwords_derivable(self, passwords):
+        meter = PCFGMeter.train(passwords)
+        for password in passwords:
+            assert meter.probability(password) > 0.0
+
+    @given(printable)
+    def test_slots_reassemble_password(self, password):
+        segments = segment_by_class(password)
+        assert "".join(seg.text for seg in segments) == password
+        slots = password_slots(password)
+        assert sum(length for _, length in slots) == len(password)
+
+    @given(st.lists(printable, min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_guesses_descend_and_match_measure(self, passwords):
+        meter = PCFGMeter.train(passwords)
+        previous = 1.1
+        for guess, probability in meter.iter_guesses(limit=50):
+            assert probability <= previous + 1e-12
+            assert abs(meter.probability(guess) - probability) < 1e-12
+            previous = probability
+
+
+class TestMarkovProperties:
+    @given(st.lists(printable, min_size=1, max_size=20),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30)
+    def test_training_passwords_positive(self, passwords, order):
+        meter = MarkovMeter.train(passwords, order=order)
+        for password in passwords:
+            assert meter.probability(password) > 0.0
+
+    @given(st.lists(printable, min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_backoff_gives_everything_positive_probability(self, passwords):
+        meter = MarkovMeter.train(
+            passwords, order=2, smoothing=Smoothing.BACKOFF
+        )
+        # Back-off smoothing never assigns zero to printable strings.
+        assert meter.probability("zq!7x") > 0.0
+
+    @given(st.lists(printable, min_size=1, max_size=10),
+           st.sampled_from(list(Smoothing)))
+    @settings(max_examples=40)
+    def test_probability_bounded(self, passwords, smoothing):
+        meter = MarkovMeter.train(passwords, order=2, smoothing=smoothing)
+        for password in passwords:
+            assert 0.0 <= meter.probability(password) <= 1.0
+
+
+class TestRuleBasedMeterProperties:
+    @given(printable)
+    def test_nist_entropy_non_negative_and_monotone(self, password):
+        assert nist_entropy(password) >= 0.0
+        assert nist_entropy(password + "x") > nist_entropy(password)
+
+    @given(printable)
+    def test_keepsm_entropy_bounded_by_plain_cost(self, password):
+        meter = KeePSMMeter(["password"])
+        entropy = meter.entropy(password)
+        assert entropy >= 0.0
+        # Pattern covers only ever lower the cost below plain chars.
+        import math
+        plain = sum(
+            math.log2(95) for _ in password
+        )
+        assert entropy <= plain + 1e-9
+
+    @given(printable)
+    @settings(max_examples=40)
+    def test_zxcvbn_entropy_bounded(self, password):
+        meter = ZxcvbnMeter()
+        entropy = meter.entropy(password)
+        assert entropy >= 0.0
+        import math
+        assert entropy <= len(password) * math.log2(95) + 1e-9
+
+    @given(printable)
+    @settings(max_examples=40)
+    def test_probabilities_in_unit_interval(self, password):
+        for meter in (NISTMeter(), KeePSMMeter(), ZxcvbnMeter()):
+            assert 0.0 < meter.probability(password) <= 1.0

@@ -1,0 +1,156 @@
+"""Property-based tests for rank metrics and guess-number machinery."""
+
+import math
+import random
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.metrics.rank import kendall_tau, spearman_rho
+from repro.metrics.unusable import count_unusable_guesses
+from repro.metrics.enumeration import (
+    descending_products,
+    merge_weighted_descending,
+)
+
+scores = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=2, max_size=40,
+)
+
+
+class TestRankCorrelationProperties:
+    @given(scores)
+    def test_self_correlation_is_one_without_full_ties(self, xs):
+        assume(len(set(xs)) > 1)
+        assert kendall_tau(xs, xs) == 1.0
+        assert spearman_rho(xs, xs) == 1.0
+
+    @given(scores)
+    def test_reversal_negates(self, xs):
+        assume(len(set(xs)) == len(xs))  # no ties
+        reversed_scores = [-x for x in xs]
+        assert kendall_tau(xs, reversed_scores) == -1.0
+        assert spearman_rho(xs, reversed_scores) == -1.0
+
+    @given(st.integers(2, 30), st.data())
+    def test_bounded(self, n, data):
+        xs = data.draw(st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=n, max_size=n,
+        ))
+        ys = data.draw(st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=n, max_size=n,
+        ))
+        assume(len(set(xs)) > 1 and len(set(ys)) > 1)
+        assert -1.0 <= kendall_tau(xs, ys) <= 1.0
+        assert -1.0 <= spearman_rho(xs, ys) <= 1.0
+
+    @given(scores, st.integers(0, 2**31))
+    def test_symmetry(self, xs, seed):
+        rng = random.Random(seed)
+        ys = list(xs)
+        rng.shuffle(ys)
+        assume(len(set(xs)) > 1 and len(set(ys)) > 1)
+        assert kendall_tau(xs, ys) == kendall_tau(ys, xs)
+        assert spearman_rho(xs, ys) == spearman_rho(ys, xs)
+
+    @given(st.lists(st.integers(0, 1000), min_size=2, max_size=40),
+           st.integers(1, 10), st.integers(-5, 5))
+    def test_invariance_under_monotone_transform(self, raw, scale, shift):
+        # Integer-valued scores so the affine map cannot merge distinct
+        # values through float rounding.
+        xs = [float(value) for value in raw]
+        assume(len(set(xs)) > 1)
+        ys = [scale * x + shift for x in xs]
+        assert kendall_tau(xs, ys) == 1.0
+        assert abs(spearman_rho(xs, ys) - 1.0) < 1e-9
+
+
+class TestEnumerationProperties:
+    weighted = st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            st.lists(
+                st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+                min_size=1, max_size=8,
+            ),
+        ),
+        min_size=1, max_size=5,
+    )
+
+    @given(weighted)
+    @settings(max_examples=50)
+    def test_merge_weighted_descending_is_sorted(self, streams):
+        def make_stream(values):
+            ordered = sorted(values, reverse=True)
+            return iter(
+                (f"item{i}", value) for i, value in enumerate(ordered)
+            )
+
+        merged = merge_weighted_descending(
+            [(weight, make_stream(values)) for weight, values in streams]
+        )
+        probabilities = [p for _, p in merged]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    @given(st.lists(
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1,
+                 max_size=5),
+        min_size=1, max_size=3,
+    ))
+    @settings(max_examples=50)
+    def test_descending_products_complete_and_sorted(self, factor_values):
+        factors = [
+            [(f"v{i}", p) for i, p in enumerate(sorted(vals, reverse=True))]
+            for vals in factor_values
+        ]
+        results = list(descending_products(factors))
+        expected_count = 1
+        for vals in factor_values:
+            expected_count *= len(vals)
+        assert len(results) == expected_count
+        probabilities = [p for _, p in results]
+        assert probabilities == sorted(probabilities, reverse=True)
+        # Every product appears exactly once.
+        import itertools
+        expected = sorted(
+            (
+                math.prod(p for _, p in combo)
+                for combo in itertools.product(*factors)
+            ),
+            reverse=True,
+        )
+        for got, want in zip(probabilities, expected):
+            assert abs(got - want) < 1e-9
+
+
+class TestUnusableGuessesProperties:
+    @given(
+        st.lists(st.text(string := "abcdef", min_size=1, max_size=4),
+                 min_size=1, max_size=50),
+        st.sets(st.text(string, min_size=1, max_size=4), max_size=20),
+    )
+    @settings(max_examples=50)
+    def test_monotone_in_checkpoint(self, guesses, test_set):
+        stream = ((guess, 1.0) for guess in guesses)
+        checkpoints = [1, 5, 10, 50]
+        results = count_unusable_guesses(stream, test_set, checkpoints)
+        values = [results[c] for c in checkpoints]
+        assert values == sorted(values)
+
+    @given(st.lists(st.text("abc", min_size=1, max_size=3),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_all_usable_when_test_set_covers_guesses(self, guesses):
+        stream = ((guess, 1.0) for guess in guesses)
+        results = count_unusable_guesses(stream, set(guesses), [100])
+        assert results[100] == 0
+
+    @given(st.lists(st.text("abc", min_size=1, max_size=3),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_all_unusable_when_test_set_empty(self, guesses):
+        stream = ((guess, 1.0) for guess in guesses)
+        results = count_unusable_guesses(stream, [], [1000])
+        assert results[1000] == len(set(guesses))

@@ -1,0 +1,135 @@
+"""Unit tests for the survey aggregates and analysis (Sec. III)."""
+
+import random
+
+import pytest
+
+from repro.survey import analysis, data
+from repro.survey.data import BehaviorModel
+
+
+class TestPublishedNumbers:
+    def test_reuse_or_modify_rate(self):
+        # The paper's headline: 77.38% reuse or modify.
+        assert analysis.figure2_reuse_rate() == pytest.approx(0.7738)
+
+    def test_new_password_rate(self):
+        assert data.CREATION_STRATEGY[
+            "create an entirely new password"
+        ] == pytest.approx(0.1448)
+
+    def test_creation_strategy_sums_to_one(self):
+        assert sum(data.CREATION_STRATEGY.values()) == pytest.approx(1.0)
+
+    def test_similarity_at_least_similar(self):
+        # Paper: "over 80% ... similar to their existing passwords".
+        assert analysis.figure3_similar_or_closer_rate() >= 0.80
+
+    def test_top_modify_reason_is_security(self):
+        reason, fraction = analysis.figure4_top_reason()
+        assert reason == "increase security"
+        assert fraction == pytest.approx(0.51)
+
+    def test_policy_and_memorability_rates(self):
+        assert data.MODIFY_REASONS[
+            "fulfill password policies"
+        ] == pytest.approx(0.4276)
+        assert data.MODIFY_REASONS[
+            "improve memorability"
+        ] == pytest.approx(0.3258)
+
+    def test_top_rule_is_concatenation(self):
+        rule, _ = analysis.figure5_top_rule()
+        assert rule.startswith("concatenation")
+
+    def test_digit_placement_order(self):
+        # Paper: end, middle, beginning in decreasing likelihood.
+        assert analysis.figure6_placement_order() == [
+            "end", "middle", "beginning"
+        ]
+
+    def test_capitalize_first_rate(self):
+        assert analysis.figure8_capitalize_first_rate() == pytest.approx(
+            0.4796
+        )
+
+    def test_never_capitalize_rate(self):
+        assert data.CAPITALIZATION_PLACEMENT[
+            "never use capitalization"
+        ] == pytest.approx(0.2262)
+
+    def test_survey_bookkeeping(self):
+        assert data.INVITATIONS_SENT == 983
+        assert data.EFFECTIVE_RESPONSES == 442
+
+
+class TestDasComparison:
+    def test_both_surveys_agree_on_reuse(self):
+        comparison = analysis.compare_with_das()
+        assert comparison["reuse_or_modify_chinese"] == pytest.approx(
+            0.7738
+        )
+        assert comparison["reuse_or_modify_english"] == pytest.approx(
+            0.77, abs=0.005
+        )
+
+    def test_direct_reuse_gap(self):
+        # Paper: 6.2 points fewer Chinese users reuse directly.
+        comparison = analysis.compare_with_das()
+        assert comparison["direct_reuse_gap"] == pytest.approx(
+            -0.062, abs=0.001
+        )
+
+    def test_new_password_gap(self):
+        # Paper: 14.86 points more English users create new passwords.
+        comparison = analysis.compare_with_das()
+        assert comparison["new_password_gap"] == pytest.approx(
+            0.1486, abs=0.001
+        )
+
+
+class TestSurveyReport:
+    def test_report_lines(self):
+        lines = analysis.survey_report()
+        assert any("77.38%" in line for line in lines)
+        assert any("end > middle > beginning" in line for line in lines)
+
+
+class TestBehaviorModel:
+    @pytest.fixture()
+    def model(self):
+        return BehaviorModel()
+
+    def test_action_probabilities_match_survey(self, model):
+        assert model.modify == pytest.approx(0.4058)
+        assert model.new == pytest.approx(0.1448)
+        # Residual "other" folded into reuse.
+        assert model.reuse + model.modify + model.new == pytest.approx(1.0)
+
+    def test_choose_action_distribution(self, model):
+        rng = random.Random(0)
+        draws = [model.choose_action(rng) for _ in range(20_000)]
+        reuse = draws.count("reuse") / len(draws)
+        modify = draws.count("modify") / len(draws)
+        new = draws.count("new") / len(draws)
+        assert reuse == pytest.approx(model.reuse, abs=0.02)
+        assert modify == pytest.approx(model.modify, abs=0.02)
+        assert new == pytest.approx(model.new, abs=0.02)
+
+    def test_choose_rule_concatenation_leads(self, model):
+        rng = random.Random(0)
+        draws = [model.choose_rule(rng) for _ in range(20_000)]
+        counts = {rule: draws.count(rule) for rule in set(draws)}
+        assert max(counts, key=counts.get) == "concatenate_digits"
+
+    def test_choose_placement_end_leads(self, model):
+        rng = random.Random(0)
+        draws = [model.choose_placement(rng) for _ in range(20_000)]
+        counts = {place: draws.count(place) for place in set(draws)}
+        assert max(counts, key=counts.get) == "end"
+
+    def test_all_rules_reachable(self, model):
+        rng = random.Random(0)
+        drawn = {model.choose_rule(rng) for _ in range(20_000)}
+        expected = {rule for rule, _ in model.rule_weights}
+        assert drawn == expected

@@ -1,0 +1,104 @@
+"""Unit tests for character classes and L/D/S segmentation."""
+
+import pytest
+
+from repro.util.charclasses import (
+    CharClass,
+    base_structure,
+    char_class,
+    classify_composition,
+    is_printable_ascii,
+    segment_by_class,
+)
+
+
+class TestCharClass:
+    def test_lowercase_is_letter(self):
+        assert char_class("a") is CharClass.LETTER
+
+    def test_uppercase_is_letter(self):
+        assert char_class("Z") is CharClass.LETTER
+
+    def test_digit(self):
+        assert char_class("5") is CharClass.DIGIT
+
+    def test_symbols(self):
+        for ch in "!@#$%^&*()_+ ~":
+            assert char_class(ch) is CharClass.SYMBOL
+
+    def test_multichar_rejected(self):
+        with pytest.raises(ValueError):
+            char_class("ab")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            char_class("")
+
+
+class TestSegmentation:
+    def test_paper_example_p_at_ssw0rd(self):
+        # Paper Sec. IV-C: p@ssw0rd has base structure L1 S1 L3 D1 L2.
+        assert base_structure("p@ssw0rd") == "L1S1L3D1L2"
+
+    def test_paper_example_password123(self):
+        assert base_structure("Password123") == "L8D3"
+
+    def test_paper_example_alternating(self):
+        assert base_structure("123qwe123qwe") == "D3L3D3L3"
+
+    def test_segments_reassemble(self):
+        password = "a1!B2@c"
+        assert "".join(
+            s.text for s in segment_by_class(password)
+        ) == password
+
+    def test_single_class(self):
+        segments = segment_by_class("abcdef")
+        assert len(segments) == 1
+        assert segments[0].label == "L6"
+
+    def test_empty_password(self):
+        assert segment_by_class("") == []
+
+    def test_case_does_not_split_letters(self):
+        assert base_structure("PassWord") == "L8"
+
+
+class TestComposition:
+    def test_lower_only(self):
+        classes = classify_composition("password")
+        assert "^[a-z]+$" in classes
+        assert "^[A-Za-z]+$" in classes
+        assert "^[0-9]+$" not in classes
+
+    def test_digits_only(self):
+        classes = classify_composition("123456")
+        assert "^[0-9]+$" in classes
+        assert "[0-9]" in classes
+
+    def test_letters_then_digits(self):
+        assert "^[a-zA-Z]+[0-9]+$" in classify_composition("abc123")
+
+    def test_lower_then_one(self):
+        assert "^[a-z]+1$" in classify_composition("monkey1")
+        assert "^[a-z]+1$" not in classify_composition("monkey2")
+
+    def test_symbol_only(self):
+        assert "symbol only" in classify_composition("!!!")
+
+    def test_alnum(self):
+        assert "^[a-zA-Z0-9]+$" in classify_composition("Abc123")
+        assert "^[a-zA-Z0-9]+$" not in classify_composition("abc!123")
+
+
+class TestPrintable:
+    def test_ascii_ok(self):
+        assert is_printable_ascii("Abc123!@# ~")
+
+    def test_non_ascii_rejected(self):
+        assert not is_printable_ascii("pässword")
+        assert not is_printable_ascii("中文密码")
+
+    def test_control_chars_rejected(self):
+        assert not is_printable_ascii("abc\x00")
+        assert not is_printable_ascii("abc\n")

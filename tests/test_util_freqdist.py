@@ -1,0 +1,86 @@
+"""Unit tests for the counting frequency distribution."""
+
+import pytest
+
+from repro.util.freqdist import FrequencyDistribution
+
+
+class TestCounting:
+    def test_empty(self):
+        fd = FrequencyDistribution()
+        assert fd.total == 0
+        assert fd.support_size == 0
+        assert fd.probability("x") == 0.0
+
+    def test_update_and_counts(self):
+        fd = FrequencyDistribution(["a", "b", "a"])
+        assert fd.count("a") == 2
+        assert fd.count("b") == 1
+        assert fd.count("c") == 0
+        assert fd.total == 3
+
+    def test_add_with_multiplicity(self):
+        fd = FrequencyDistribution()
+        fd.add("x", 10)
+        assert fd.count("x") == 10
+        assert fd.total == 10
+
+    def test_add_zero_is_noop(self):
+        fd = FrequencyDistribution()
+        fd.add("x", 0)
+        assert "x" not in fd
+        assert fd.total == 0
+
+    def test_negative_count_rejected(self):
+        fd = FrequencyDistribution()
+        with pytest.raises(ValueError):
+            fd.add("x", -1)
+
+
+class TestProbability:
+    def test_mle(self):
+        fd = FrequencyDistribution(["a"] * 3 + ["b"])
+        assert fd.probability("a") == 0.75
+        assert fd.probability("b") == 0.25
+
+    def test_probabilities_sum_to_one(self):
+        fd = FrequencyDistribution(list("abracadabra"))
+        assert abs(sum(fd.probability(item) for item in fd) - 1.0) < 1e-12
+
+    def test_smoothed_unseen_positive(self):
+        fd = FrequencyDistribution(["a"] * 9)
+        assert fd.smoothed_probability("zzz", alpha=1.0,
+                                       vocabulary_size=10) > 0
+
+    def test_smoothed_seen_discounted(self):
+        fd = FrequencyDistribution(["a"] * 9 + ["b"])
+        assert fd.smoothed_probability("a", alpha=1.0) < fd.probability("a")
+
+    def test_smoothed_negative_alpha_rejected(self):
+        fd = FrequencyDistribution(["a"])
+        with pytest.raises(ValueError):
+            fd.smoothed_probability("a", alpha=-0.1)
+
+
+class TestRanking:
+    def test_most_common_order(self):
+        fd = FrequencyDistribution(["b"] * 2 + ["a"] * 5 + ["c"])
+        assert [item for item, _ in fd.most_common()] == ["a", "b", "c"]
+
+    def test_most_common_limit(self):
+        fd = FrequencyDistribution(list("aabbbc"))
+        assert len(fd.most_common(2)) == 2
+
+    def test_ties_break_deterministically(self):
+        fd1 = FrequencyDistribution(["x", "y"])
+        fd2 = FrequencyDistribution(["y", "x"])
+        assert fd1.most_common() == fd2.most_common()
+
+    def test_counts_of_counts(self):
+        fd = FrequencyDistribution(["a"] * 3 + ["b"] * 3 + ["c"])
+        assert fd.counts_of_counts() == {3: 2, 1: 1}
+
+    def test_iteration_and_len(self):
+        fd = FrequencyDistribution(["a", "b"])
+        assert set(fd) == {"a", "b"}
+        assert len(fd) == 2

@@ -1,0 +1,94 @@
+"""Unit tests for zxcvbn crack-time estimation and scoring."""
+
+import pytest
+
+from repro.meters.zxcvbn import ZxcvbnMeter, strength_report
+from repro.meters.zxcvbn.crack_time import (
+    crack_time_score,
+    display_crack_time,
+    entropy_to_crack_seconds,
+)
+
+
+class TestEntropyToCrackSeconds:
+    def test_half_search_space(self):
+        # 10 bits at 1 guess/s: 2^10 / 2 = 512 seconds.
+        assert entropy_to_crack_seconds(
+            10.0, guesses_per_second=1.0
+        ) == pytest.approx(512.0)
+
+    def test_default_rate(self):
+        assert entropy_to_crack_seconds(0.0) == pytest.approx(
+            0.5 / 10_000
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            entropy_to_crack_seconds(-1.0)
+        with pytest.raises(ValueError):
+            entropy_to_crack_seconds(10.0, guesses_per_second=0.0)
+
+
+class TestScore:
+    def test_bands(self):
+        assert crack_time_score(1.0) == 0
+        assert crack_time_score(10 ** 3) == 1
+        assert crack_time_score(10 ** 5) == 2
+        assert crack_time_score(10 ** 7) == 3
+        assert crack_time_score(10 ** 9) == 4
+
+    def test_thresholds_inclusive(self):
+        assert crack_time_score(10 ** 2) == 1
+
+    def test_monotone(self):
+        scores = [crack_time_score(10.0 ** k) for k in range(0, 10)]
+        assert scores == sorted(scores)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crack_time_score(-1.0)
+
+
+class TestDisplay:
+    def test_bands(self):
+        assert display_crack_time(10.0) == "instant"
+        assert display_crack_time(5 * 60.0) == "5 minutes"
+        assert display_crack_time(3 * 3600.0) == "3 hours"
+        assert display_crack_time(4 * 86400.0) == "4 days"
+        assert display_crack_time(90 * 86400.0) == "3 months"
+        assert display_crack_time(2 * 365.2425 * 86400.0) == "2 years"
+        assert display_crack_time(10.0 ** 12) == "centuries"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            display_crack_time(-1.0)
+
+
+class TestMeterIntegration:
+    @pytest.fixture(scope="class")
+    def meter(self):
+        return ZxcvbnMeter()
+
+    def test_report_fields(self, meter):
+        report = meter.report("password")
+        assert report.password == "password"
+        assert report.entropy_bits == meter.entropy("password")
+        assert report.score == crack_time_score(report.crack_seconds)
+
+    def test_weak_scores_low(self, meter):
+        assert meter.score("password") == 0
+        assert meter.score("123456") == 0
+
+    def test_strong_scores_high(self, meter):
+        assert meter.score("gT7#qLw9!xZ2pQ") >= 3
+
+    def test_score_monotone_in_entropy(self, meter):
+        passwords = ["password", "sunshine99x", "gT7#qLw9!xZ2pQ"]
+        entropies = [meter.entropy(pw) for pw in passwords]
+        scores = [meter.score(pw) for pw in passwords]
+        assert entropies == sorted(entropies)
+        assert scores == sorted(scores)
+
+    def test_strength_report_function(self):
+        report = strength_report("x", 20.0, guesses_per_second=1.0)
+        assert report.crack_seconds == pytest.approx(2.0 ** 19)

@@ -1,0 +1,84 @@
+"""Integration tests for the ZxcvbnMeter facade."""
+
+import pytest
+
+from repro.meters.zxcvbn import ZxcvbnMeter
+
+
+@pytest.fixture(scope="module")
+def meter():
+    return ZxcvbnMeter()
+
+
+class TestEntropyOrdering:
+    def test_common_password_weak(self, meter):
+        assert meter.entropy("password") < meter.entropy("gbwkfq7c")
+
+    def test_leet_adds_little(self, meter):
+        # The paper's point: p@ssw0rd is barely stronger than password.
+        assert meter.entropy("p@ssw0rd") < meter.entropy("gbwkfq7c")
+
+    def test_keyboard_walks_weak(self, meter):
+        assert meter.entropy("qwertyuiop") < meter.entropy("qzvkmwpxrt")
+
+    def test_repeats_weak(self, meter):
+        assert meter.entropy("aaaaaaaaaa") < meter.entropy("aqzvkmwpxr")
+
+    def test_sequences_weak(self, meter):
+        assert meter.entropy("abcdefghij") < meter.entropy("aqzvkmwpxr")
+
+    def test_dates_weak(self, meter):
+        assert meter.entropy("13051984") < meter.entropy("83620471")
+
+    def test_length_helps_random_strings(self, meter):
+        assert meter.entropy("kqzv") < meter.entropy("kqzvwmxrtp")
+
+    def test_empty_password(self, meter):
+        assert meter.entropy("") == 0.0
+
+
+class TestMeterInterface:
+    def test_probability_scale(self, meter):
+        p = meter.probability("password")
+        assert 0.0 < p <= 1.0
+        assert p > meter.probability("zH8$kQ!2pVx9")
+
+    def test_matches_exposed(self, meter):
+        matches = meter.matches("password1984")
+        assert any(m.pattern == "dictionary" for m in matches)
+        assert any(m.pattern == "date" for m in matches)
+
+    def test_match_sequence_covers_password(self, meter):
+        result = meter.match_sequence("password1984")
+        assert "".join(m.token for m in result.sequence) == "password1984"
+
+
+class TestExtraDictionaries:
+    def test_extra_words_lower_entropy(self):
+        plain = ZxcvbnMeter()
+        tuned = ZxcvbnMeter(
+            extra_dictionaries={"site": ["zanzibar42x"]}
+        )
+        assert (
+            tuned.entropy("zanzibar42x") < plain.entropy("zanzibar42x")
+        )
+
+    def test_extra_dictionary_ranks_by_order(self):
+        tuned = ZxcvbnMeter(
+            extra_dictionaries={"site": ["kwyjibo", "embiggen"]}
+        )
+        # Order defines rank: the first word is cheaper (log2(1) = 0
+        # bits for rank 1, as in upstream zxcvbn).
+        assert tuned.entropy("kwyjibo") < tuned.entropy("embiggen")
+        assert tuned.entropy("embiggen") < ZxcvbnMeter().entropy("embiggen")
+
+
+class TestPaperExamples:
+    """The W3C/Yahoo-style misgradings that motivate the paper (Sec. I)."""
+
+    def test_password1_not_much_stronger(self, meter):
+        base = meter.entropy("password")
+        assert meter.entropy("password1") < base + 8
+
+    def test_password123_still_weak(self, meter):
+        assert meter.entropy("password123") < meter.entropy("kqzvwmxrtpye")
