@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 
 #: Entries per generated test corpus (paper corpora are ~10^6-10^7).
@@ -10,9 +11,39 @@ CORPUS_SIZE = int(os.environ.get("REPRO_BENCH_CORPUS", 20_000))
 BASE_SIZE = int(os.environ.get("REPRO_BENCH_BASE", 100_000))
 SEED = 0
 
+#: Where the timing benches persist their numbers, so the perf
+#: trajectory is tracked across PRs (one JSON object, merged in place).
+TIMING_RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_timing.json",
+)
+
 
 def emit(capsys, text: str) -> None:
     """Print a result table through pytest's capture barrier."""
     with capsys.disabled():
         print()
         print(text)
+
+
+def record(name: str, **values) -> None:
+    """Merge one bench's measurements into ``BENCH_timing.json``.
+
+    Each bench owns one top-level key; re-running a single bench
+    refreshes its entry without clobbering the others.  Floats are
+    rounded so diffs across PRs stay readable.
+    """
+    results = {}
+    if os.path.exists(TIMING_RESULTS_PATH):
+        with open(TIMING_RESULTS_PATH) as handle:
+            try:
+                results = json.load(handle)
+            except ValueError:
+                results = {}
+    results[name] = {
+        key: round(value, 6) if isinstance(value, float) else value
+        for key, value in values.items()
+    }
+    with open(TIMING_RESULTS_PATH, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -10,16 +10,24 @@ The paper reports, on a 3.60 GHz i7 PC:
 
 These benches time the same operations on the bench corpus and assert
 only the order-of-magnitude budgets (absolute hardware differs).
+
+The performance-layer benches (compiled vs pointer trie, bulk vs
+per-call measuring, serial vs parallel training) additionally persist
+their numbers to ``BENCH_timing.json`` at the repo root via
+:func:`bench_lib.record`, so the perf trajectory is tracked across PRs.
 """
 
 import random
+import time
 
 import pytest
 
 from repro.core.meter import FuzzyPSM
+from repro.core.parser import FuzzyParser
+from repro.core.training import train_grammar
 from repro.metrics.guessnumber import MonteCarloEstimator
 
-from bench_lib import emit
+from bench_lib import emit, record
 
 
 @pytest.fixture(scope="module")
@@ -53,6 +61,7 @@ def test_timing_measure_single_password(benchmark, meter,
     mean_seconds = benchmark.stats["mean"]
     emit(capsys, f"(timing) one measurement: {mean_seconds * 1e3:.4f} ms "
                  "(paper budget: < 2 ms)")
+    record("measure_single", mean_ms=mean_seconds * 1e3)
     assert mean_seconds < 0.002
 
 
@@ -75,6 +84,8 @@ def test_timing_training_throughput(benchmark, corpora, csdn_quarters,
         f"passwords (+{len(base_words):,}-word base trie) -> "
         f"{per_million:.1f} s per million (paper: ~10 s per million)",
     )
+    record("training_serial", seconds=seconds,
+           passwords=train.total, seconds_per_million=per_million)
     assert meter.grammar.total_passwords == train.total
     # Same order of magnitude as the paper's figure (pure Python
     # against the authors' C-era constant: allow a generous 60x).
@@ -113,3 +124,118 @@ def test_timing_monte_carlo_estimation(benchmark, meter, capsys):
                  f"{mean_seconds * 1e6:.2f} us")
     # Lookups are binary searches; they must be micro-second scale.
     assert mean_seconds < 0.001
+
+
+# --- performance layer (compiled trie / batch / parallel) -----------------
+
+
+def test_timing_bulk_vs_single_measuring(meter, csdn_quarters, capsys):
+    """``probability_many`` vs a per-call loop on an evaluation stream.
+
+    The stream is three scoring sweeps over the test quarter *with*
+    multiplicity — the shape of the corpus-evaluation workload, which
+    scores the same leak once per artefact (guess-number scatter,
+    cracking curve, robustness re-runs) and used to re-parse every
+    repeated password from scratch each time.  The batch path parses
+    each distinct password once and serves every repeat from the parse
+    cache and the per-batch memo.
+    """
+    _, test = csdn_quarters
+    stream = list(test.expand()) * 3
+    distinct = test.unique
+
+    single_meter = FuzzyPSM(meter.grammar, meter.trie, meter.config)
+    single_meter.probability("warmup")  # build the compiled snapshot
+    start = time.perf_counter()
+    single = [single_meter.probability(pw) for pw in stream]
+    single_seconds = time.perf_counter() - start
+
+    bulk_meter = FuzzyPSM(meter.grammar, meter.trie, meter.config)
+    bulk_meter.probability("warmup")
+    start = time.perf_counter()
+    bulk = bulk_meter.probability_many(stream)
+    bulk_seconds = time.perf_counter() - start
+
+    assert bulk == single  # the fast path must not change a single value
+    speedup = single_seconds / bulk_seconds
+    emit(
+        capsys,
+        f"(timing) bulk measuring: {len(stream):,} scores "
+        f"({distinct:,} distinct) -- per-call {single_seconds:.2f} s, "
+        f"probability_many {bulk_seconds:.2f} s -> {speedup:.1f}x",
+    )
+    record("measure_bulk_vs_single", stream=len(stream),
+           distinct=distinct, single_seconds=single_seconds,
+           bulk_seconds=bulk_seconds, speedup=speedup)
+    assert speedup >= 2.0
+
+
+def test_timing_compiled_vs_pointer_parse(meter, csdn_quarters, capsys):
+    """Full-parse wall time: compiled flat-array trie vs pointer trie.
+
+    Caches are disabled so this isolates the matcher itself.  The two
+    parsers must produce identical parses; the ratio is recorded for
+    the cross-PR trajectory (the compiled trie's main wins are memory
+    footprint and worker startup, not single-thread parse speed).
+    """
+    _, test = csdn_quarters
+    probes = test.unique_passwords()
+    pointer_parser = FuzzyParser(meter.trie, use_compiled=False,
+                                 parse_cache_size=0)
+    compiled_parser = FuzzyParser(meter.trie, use_compiled=True,
+                                  parse_cache_size=0)
+    compiled_parser.parse("warmup")  # build the compiled snapshot
+
+    def best_of_three(parser):
+        timings = []
+        for _ in range(3):
+            start = time.perf_counter()
+            parses = [parser.parse(pw) for pw in probes]
+            timings.append(time.perf_counter() - start)
+        return parses, min(timings)
+
+    pointer_parses, pointer_seconds = best_of_three(pointer_parser)
+    compiled_parses, compiled_seconds = best_of_three(compiled_parser)
+
+    assert compiled_parses == pointer_parses
+    ratio = pointer_seconds / compiled_seconds
+    emit(
+        capsys,
+        f"(timing) parse {len(probes):,} unique passwords -- pointer "
+        f"{pointer_seconds:.2f} s, compiled {compiled_seconds:.2f} s "
+        f"({ratio:.2f}x)",
+    )
+    record("parse_compiled_vs_pointer", probes=len(probes),
+           pointer_seconds=pointer_seconds,
+           compiled_seconds=compiled_seconds, ratio=ratio)
+
+
+def test_timing_parallel_training(meter, csdn_quarters, capsys):
+    """Serial vs ``jobs=2`` training: identical grammars, both timed.
+
+    The container may expose a single CPU, so no speedup is asserted —
+    the contract under test is exactness of the chunk-and-merge path;
+    the timings go to ``BENCH_timing.json`` where multi-core runs show
+    the scaling.
+    """
+    train, _ = csdn_quarters
+    items = list(train.items())
+    trie = meter.trie
+
+    start = time.perf_counter()
+    serial = train_grammar(items, trie)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = train_grammar(items, trie, jobs=2)
+    parallel_seconds = time.perf_counter() - start
+
+    assert parallel == serial  # chunk-and-merge is exact
+    emit(
+        capsys,
+        f"(timing) training {train.total:,} passwords -- serial "
+        f"{serial_seconds:.2f} s, jobs=2 {parallel_seconds:.2f} s",
+    )
+    record("training_serial_vs_jobs2", passwords=train.total,
+           serial_seconds=serial_seconds,
+           parallel_seconds=parallel_seconds)

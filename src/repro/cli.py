@@ -39,6 +39,7 @@ from repro.experiments.reporting import (
 )
 from repro.experiments.runner import ExperimentConfig, run_scenario
 from repro.experiments.scenarios import ALL_SCENARIOS, scenario
+from repro.meters.base import probability_to_entropy
 from repro.meters.markov import MarkovMeter, Smoothing
 from repro.meters.pcfg import PCFGMeter
 from repro.persistence import load_meter, save_meter
@@ -91,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--allow-allcaps", action="store_true",
         help="enable whole-word capitalization (fuzzyPSM)",
+    )
+    train.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parse the training corpus across N worker processes; "
+             "count tables are merged exactly (fuzzyPSM)",
+    )
+    train.add_argument(
+        "--no-compile", action="store_true",
+        help="walk the pointer trie instead of the compiled "
+             "flat-array trie (fuzzyPSM escape hatch)",
     )
     train.add_argument("--output", "-o", required=True)
 
@@ -227,7 +238,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
             config=FuzzyPSMConfig(
                 allow_reverse=args.allow_reverse,
                 allow_allcaps=args.allow_allcaps,
+                use_compiled_trie=not args.no_compile,
             ),
+            jobs=args.jobs,
         )
     elif args.kind == "pcfg":
         meter = PCFGMeter.train(items)
@@ -246,12 +259,15 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     passwords: Sequence[str] = args.passwords or [
         line.rstrip("\n") for line in sys.stdin if line.strip()
     ]
+    # One batched pass: FuzzyPSM serves this through its parse cache,
+    # so repeated passwords in a stream are only parsed once.
+    probabilities = meter.probabilities(passwords)
     print(format_table(
         ["password", "probability", "entropy(bits)"],
         [
-            [pw, f"{meter.probability(pw):.3e}",
-             f"{meter.entropy(pw):.2f}"]
-            for pw in passwords
+            [pw, f"{probability:.3e}",
+             f"{probability_to_entropy(probability):.2f}"]
+            for pw, probability in zip(passwords, probabilities)
         ],
     ))
     return 0

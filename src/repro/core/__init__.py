@@ -4,6 +4,8 @@ Layout (bottom-up):
 
 * :mod:`~repro.core.trie` — prefix trie over the base dictionary with
   transformation-aware longest-prefix matching.
+* :mod:`~repro.core.compiled_trie` — the flat-array compiled snapshot
+  of that trie used by the parsing hot path.
 * :mod:`~repro.core.grammar` — the fuzzy PCFG rule tables
   (paper Tables IV-VI) and derivation probability arithmetic.
 * :mod:`~repro.core.parser` — parses a password into base segments,
@@ -15,6 +17,7 @@ Layout (bottom-up):
 """
 
 from repro.core.trie import PrefixTrie, FuzzyMatch
+from repro.core.compiled_trie import CompiledTrie
 from repro.core.grammar import FuzzyGrammar, Derivation, DerivedSegment
 from repro.core.parser import FuzzyParser, ParsedPassword, ParsedSegment, SegmentKind
 from repro.core.training import train_grammar
@@ -35,6 +38,7 @@ from repro.core.suggestions import (
 __all__ = [
     "PrefixTrie",
     "FuzzyMatch",
+    "CompiledTrie",
     "FuzzyGrammar",
     "Derivation",
     "DerivedSegment",

@@ -176,6 +176,42 @@ class FuzzyGrammar:
                 if rule is not None:
                     self.leet[rule].add(offset in toggled, count)
 
+    # --- merging (parallel training) -----------------------------------
+
+    def merge(self, other: "FuzzyGrammar") -> None:
+        """Fold another grammar's count tables into this one, in place.
+
+        Because every table stores raw counts and counting commutes,
+        ``merge`` is exact: training chunks in parallel and merging the
+        per-chunk grammars produces the same grammar as one serial pass
+        over the whole corpus.  This is the reduction step of
+        ``train_grammar(..., jobs=N)``.
+        """
+        self.structures.merge(other.structures)
+        for length, table in other.terminals.items():
+            own = self.terminals.setdefault(length, FrequencyDistribution())
+            own.merge(table)
+        self.capitalization.merge(other.capitalization)
+        self.reverse.merge(other.reverse)
+        self.allcaps.merge(other.allcaps)
+        for rule, table in other.leet.items():
+            self.leet[rule].merge(table)
+
+    def __eq__(self, other: object) -> bool:
+        """True when every count table is identical."""
+        if not isinstance(other, FuzzyGrammar):
+            return NotImplemented
+        return (
+            self.structures == other.structures
+            and self.terminals == other.terminals
+            and self.capitalization == other.capitalization
+            and self.reverse == other.reverse
+            and self.allcaps == other.allcaps
+            and self.leet == other.leet
+        )
+
+    __hash__ = None  # mutable container
+
     # --- probabilities -------------------------------------------------
 
     def structure_probability(self, structure: Structure) -> float:

@@ -30,7 +30,7 @@ from repro.core.grammar import (
 from repro.core.parser import FuzzyParser, ParsedPassword
 from repro.core.training import PasswordEntry, build_base_trie, train_grammar
 from repro.core.trie import PrefixTrie
-from repro.meters.base import ProbabilisticMeter
+from repro.meters.base import ProbabilisticMeter, probability_to_entropy
 from repro.metrics.enumeration import (
     LazyDescendingList,
     deduplicate_guesses,
@@ -59,6 +59,11 @@ class FuzzyPSMConfig:
             measured password back through the update phase.  The paper
             updates on *accepted* passwords, so this defaults to False
             and :meth:`FuzzyPSM.accept` is the explicit entry point.
+        use_compiled_trie: parse against the flat-array
+            :class:`~repro.core.compiled_trie.CompiledTrie` snapshot
+            instead of walking pointer-trie nodes (``--no-compile`` on
+            the CLI turns this off).  Purely an execution-strategy
+            switch — parses are bit-for-bit identical either way.
     """
 
     min_base_length: int = 3
@@ -67,6 +72,7 @@ class FuzzyPSMConfig:
     allow_reverse: bool = False
     allow_allcaps: bool = False
     auto_update: bool = False
+    use_compiled_trie: bool = True
 
 
 @dataclass(frozen=True)
@@ -89,6 +95,18 @@ class Explanation:
         return out
 
 
+def _build_parser(trie: PrefixTrie, config: FuzzyPSMConfig) -> FuzzyParser:
+    """The parser matching a meter config (one construction site)."""
+    return FuzzyParser(
+        trie,
+        allow_capitalization=config.allow_capitalization,
+        allow_leet=config.allow_leet,
+        allow_reverse=config.allow_reverse,
+        allow_allcaps=config.allow_allcaps,
+        use_compiled=config.use_compiled_trie,
+    )
+
+
 class FuzzyPSM(ProbabilisticMeter):
     """The fuzzy-PCFG password strength meter.
 
@@ -104,20 +122,19 @@ class FuzzyPSM(ProbabilisticMeter):
         self._config = config or FuzzyPSMConfig()
         self._grammar = grammar
         self._trie = trie
-        self._parser = FuzzyParser(
-            trie,
-            allow_capitalization=self._config.allow_capitalization,
-            allow_leet=self._config.allow_leet,
-            allow_reverse=self._config.allow_reverse,
-            allow_allcaps=self._config.allow_allcaps,
-        )
+        self._parser = _build_parser(trie, self._config)
+        # Sorted base-word list, materialised at most once per trie
+        # state (keyed on the word count) and shared by every
+        # ``to_dict`` call — see :meth:`base_words`.
+        self._base_words: Optional[List[str]] = None
 
     # --- construction -------------------------------------------------
 
     @classmethod
     def train(cls, base_dictionary: Iterable[str],
               training: Iterable[PasswordEntry],
-              config: Optional[FuzzyPSMConfig] = None) -> "FuzzyPSM":
+              config: Optional[FuzzyPSMConfig] = None,
+              jobs: Optional[int] = None) -> "FuzzyPSM":
         """Run the training phase and return a ready meter.
 
         Args:
@@ -126,19 +143,16 @@ class FuzzyPSM(ProbabilisticMeter):
             training: passwords from a *sensitive* service (optionally
                 ``(password, count)`` pairs).
             config: meter tunables; see :class:`FuzzyPSMConfig`.
+            jobs: worker processes for the training pass; ``N > 1``
+                parses chunks in parallel and merges the count tables
+                exactly (see :func:`~repro.core.training.train_grammar`).
         """
         config = config or FuzzyPSMConfig()
         trie = build_base_trie(
             base_dictionary, min_length=config.min_base_length
         )
-        parser = FuzzyParser(
-            trie,
-            allow_capitalization=config.allow_capitalization,
-            allow_leet=config.allow_leet,
-            allow_reverse=config.allow_reverse,
-            allow_allcaps=config.allow_allcaps,
-        )
-        grammar = train_grammar(training, trie, parser=parser)
+        parser = _build_parser(trie, config)
+        grammar = train_grammar(training, trie, parser=parser, jobs=jobs)
         return cls(grammar, trie, config)
 
     # --- accessors ------------------------------------------------------
@@ -178,6 +192,48 @@ class FuzzyPSM(ProbabilisticMeter):
             self._grammar.observe(parsed.to_derivation())
         return probability
 
+    def probability_many(self, passwords: Iterable[str]) -> List[float]:
+        """Bulk :meth:`probability`, returning one value per input.
+
+        Real password streams are heavily repetitive (Zipf-shaped), so
+        bulk scoring routes parses through the parser's LRU cache and
+        memoises the final probability per distinct password within the
+        batch.  Results are exactly the per-call values, in order.
+
+        With ``auto_update`` on, every measurement mutates the grammar,
+        so each value depends on all earlier ones — that mode falls
+        back to the plain sequential loop.
+        """
+        if self._config.auto_update:
+            return [self.probability(pw) for pw in passwords]
+        grammar = self._grammar
+        parse = self._parser.parse_cached
+        batch: dict = {}
+        out: List[float] = []
+        for password in passwords:
+            probability = batch.get(password)
+            if probability is None:
+                if password:
+                    probability = grammar.derivation_probability(
+                        parse(password).to_derivation()
+                    )
+                else:
+                    probability = 0.0
+                batch[password] = probability
+            out.append(probability)
+        return out
+
+    def entropy_many(self, passwords: Iterable[str]) -> List[float]:
+        """Bulk :meth:`entropy` (bits; 0-probability maps to +inf)."""
+        return [
+            probability_to_entropy(p)
+            for p in self.probability_many(passwords)
+        ]
+
+    def probabilities(self, passwords: Iterable[str]) -> List[float]:
+        """Vectorised meter interface, served by :meth:`probability_many`."""
+        return self.probability_many(passwords)
+
     def explain(self, password: str) -> Explanation:
         """A structured account of how the password was derived."""
         parsed = self.parse(password)
@@ -215,10 +271,29 @@ class FuzzyPSM(ProbabilisticMeter):
         """
         if not password:
             raise ValueError("cannot accept an empty password")
+        if count <= 0:
+            raise ValueError(
+                f"accept count for {password!r} must be positive, "
+                f"got {count!r}"
+            )
         parsed = self.parse(password)
         self._grammar.observe(parsed.to_derivation(), count)
 
     # --- serialisation -----------------------------------------------------
+
+    def base_words(self) -> List[str]:
+        """The sorted base-dictionary word list, materialised once.
+
+        The list is cached and shared across :meth:`to_dict` calls
+        (saving a large meter used to rebuild it on every save); it is
+        refreshed if the trie has gained words since.
+        """
+        if (
+            self._base_words is None
+            or len(self._base_words) != len(self._trie)
+        ):
+            self._base_words = list(self._trie.iter_words())
+        return self._base_words
 
     def to_dict(self) -> dict:
         """JSON-serialisable snapshot: base trie, grammar and config."""
@@ -230,8 +305,9 @@ class FuzzyPSM(ProbabilisticMeter):
                 "allow_reverse": self._config.allow_reverse,
                 "allow_allcaps": self._config.allow_allcaps,
                 "auto_update": self._config.auto_update,
+                "use_compiled_trie": self._config.use_compiled_trie,
             },
-            "base_words": list(self._trie.iter_words()),
+            "base_words": self.base_words(),
             "grammar": self._grammar.to_dict(),
         }
 

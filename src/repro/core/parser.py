@@ -14,17 +14,34 @@ deterministic procedure:
 The resulting sequence of segments, each with its capitalization flag
 and leet-toggle offsets, is a :class:`~repro.core.grammar.Derivation`
 whose probability the grammar can evaluate.
+
+Performance notes (see DESIGN.md "Performance architecture"):
+
+* dictionary matching runs against a :class:`CompiledTrie` — the
+  flat-array snapshot of the base trie — built lazily on first parse
+  (``use_compiled=False`` restores the pointer trie);
+* the reversed-word trie of the ``allow_reverse`` extension is also
+  built lazily, on the first parse that needs it, so deserialising a
+  reverse-enabled grammar that never parses costs nothing;
+* :meth:`FuzzyParser.parse_cached` memoises parses in a bounded LRU —
+  password streams are Zipf-distributed, so a small cache absorbs most
+  of a bulk-scoring workload.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
+from repro.core.compiled_trie import CompiledTrie
 from repro.core.grammar import Derivation, DerivedSegment
 from repro.core.trie import PrefixTrie
-from repro.util.charclasses import segment_by_class
+from repro.util.charclasses import first_run
+
+#: Default capacity of the per-parser LRU parse cache.
+DEFAULT_PARSE_CACHE_SIZE = 65_536
 
 
 class SegmentKind(enum.Enum):
@@ -98,25 +115,31 @@ class FuzzyParser:
     def __init__(self, trie: PrefixTrie, allow_capitalization: bool = True,
                  allow_leet: bool = True,
                  allow_reverse: bool = False,
-                 allow_allcaps: bool = False) -> None:
+                 allow_allcaps: bool = False,
+                 use_compiled: bool = True,
+                 parse_cache_size: int = DEFAULT_PARSE_CACHE_SIZE) -> None:
         self._trie = trie
         self._allow_capitalization = allow_capitalization
         self._allow_leet = allow_leet
         self._allow_reverse = allow_reverse
         self._allow_allcaps = allow_allcaps
-        # The reverse rule (the paper's named future work) matches a
-        # password prefix against *reversed* dictionary words; a
-        # second trie over the reversed words answers those queries in
-        # the same left-to-right pass.  Palindromes are excluded: their
-        # reversed reading is indistinguishable from the plain one.
+        self._use_compiled = use_compiled
+        # The forward matcher (compiled trie) and the reverse-rule trie
+        # are both built lazily: ``__init__`` must stay cheap because a
+        # parser is created every time a meter is deserialised, and a
+        # reverse-enabled grammar may never parse at all.  The reverse
+        # rule (the paper's named future work) matches a password
+        # prefix against *reversed* dictionary words; a second trie
+        # over the reversed words answers those queries in the same
+        # left-to-right pass.  Palindromes are excluded: their reversed
+        # reading is indistinguishable from the plain one.
+        self._compiled: Optional[CompiledTrie] = None
         self._reversed_trie: Optional[PrefixTrie] = None
-        if allow_reverse:
-            self._reversed_trie = PrefixTrie(
-                min_length=trie.min_length
-            )
-            for word in trie.iter_words():
-                if word != word[::-1]:
-                    self._reversed_trie.insert(word[::-1])
+        self._reversed_matcher: Optional[
+            Union[PrefixTrie, CompiledTrie]
+        ] = None
+        self._parse_cache: "OrderedDict[str, ParsedPassword]" = OrderedDict()
+        self._parse_cache_size = parse_cache_size
 
     @property
     def trie(self) -> PrefixTrie:
@@ -126,35 +149,129 @@ class FuzzyParser:
     def allow_reverse(self) -> bool:
         return self._allow_reverse
 
+    @property
+    def use_compiled(self) -> bool:
+        return self._use_compiled
+
+    @property
+    def flags(self) -> dict:
+        """Constructor keywords reproducing this parser's behaviour
+        (used to rebuild equivalent parsers in worker processes)."""
+        return {
+            "allow_capitalization": self._allow_capitalization,
+            "allow_leet": self._allow_leet,
+            "allow_reverse": self._allow_reverse,
+            "allow_allcaps": self._allow_allcaps,
+            "use_compiled": self._use_compiled,
+        }
+
+    def config_key(self) -> Tuple:
+        """Hashable identity of the parse behaviour: two parsers with
+        equal keys and equal tries produce identical parses, so
+        ``(password, config_key)`` fully determines a cached parse."""
+        return (
+            self._allow_capitalization, self._allow_leet,
+            self._allow_reverse, self._allow_allcaps,
+        )
+
+    # --- lazy matcher construction ------------------------------------
+
+    @property
+    def compiled_trie(self) -> Optional[CompiledTrie]:
+        """The compiled forward matcher, or None when not (yet) built."""
+        return self._compiled
+
+    @property
+    def reversed_trie_built(self) -> bool:
+        """True once the reverse-rule trie has been materialised."""
+        return self._reversed_matcher is not None
+
+    def _forward_matcher(self) -> Union[PrefixTrie, CompiledTrie]:
+        if not self._use_compiled:
+            return self._trie
+        if self._compiled is None:
+            self._compiled = self._trie.compile()
+        return self._compiled
+
+    def _reverse_matcher(self) -> Union[PrefixTrie, CompiledTrie]:
+        if self._reversed_matcher is None:
+            reversed_trie = PrefixTrie(min_length=self._trie.min_length)
+            for word in self._trie.iter_words():
+                if word != word[::-1]:
+                    reversed_trie.insert(word[::-1])
+            self._reversed_trie = reversed_trie
+            self._reversed_matcher = (
+                reversed_trie.compile() if self._use_compiled
+                else reversed_trie
+            )
+        return self._reversed_matcher
+
+    # --- parsing -------------------------------------------------------
+
     def parse(self, password: str) -> ParsedPassword:
         """Parse ``password`` into base segments (never fails)."""
         segments: List[ParsedSegment] = []
         position = 0
         while position < len(password):
-            remainder = password[position:]
-            segment = self._best_dictionary_segment(remainder)
-            if segment is not None:
-                segments.append(segment)
-                position += len(segment.base)
-            else:
-                segments.append(self._fallback_segment(remainder))
-                position += len(segments[-1].base)
+            segment = self._best_dictionary_segment(password, position)
+            if segment is None:
+                segment = self._fallback_segment(password, position)
+            segments.append(segment)
+            position += len(segment.base)
         return ParsedPassword(password, tuple(segments))
 
-    def _best_dictionary_segment(self, remainder: str
+    def parse_cached(self, password: str) -> ParsedPassword:
+        """:meth:`parse` through the bounded LRU parse cache.
+
+        Parses depend only on the (immutable) trie and the parser
+        flags, so memoisation is exact; bulk scoring of Zipf-shaped
+        password streams hits the cache for the popular head.
+        """
+        cache = self._parse_cache
+        parsed = cache.get(password)
+        if parsed is not None:
+            cache.move_to_end(password)
+            return parsed
+        parsed = self.parse(password)
+        cache[password] = parsed
+        if len(cache) > self._parse_cache_size:
+            cache.popitem(last=False)
+        return parsed
+
+    def _best_dictionary_segment(self, password: str, position: int
                                  ) -> Optional[ParsedSegment]:
-        """Longest match over both reading directions.
+        """Longest match over both reading directions, from ``position``.
 
         Preference order: longest consumed prefix, then fewest
         transformations (the reverse flag counts as one), then the
         forward reading, then lexicographic base — fully deterministic.
         """
+        matcher = self._forward_matcher()
+        if isinstance(matcher, CompiledTrie):
+            forward = matcher.longest_fuzzy_match(
+                password,
+                allow_capitalization=self._allow_capitalization,
+                allow_leet=self._allow_leet,
+                start=position,
+            )
+        else:
+            forward = matcher.longest_fuzzy_match(
+                password[position:],
+                allow_capitalization=self._allow_capitalization,
+                allow_leet=self._allow_leet,
+            )
+        if forward is not None and not self._allow_reverse \
+                and not self._allow_allcaps:
+            # Fast path: with the extensions off there is exactly one
+            # candidate direction, no ranking needed.
+            return ParsedSegment(
+                base=forward.base,
+                capitalized=forward.capitalized,
+                toggled_offsets=forward.toggled_offsets,
+                kind=SegmentKind.DICTIONARY,
+            )
+        remainder = password[position:]
         candidates: List[Tuple[int, int, int, str, ParsedSegment]] = []
-        forward = self._trie.longest_fuzzy_match(
-            remainder,
-            allow_capitalization=self._allow_capitalization,
-            allow_leet=self._allow_leet,
-        )
         if forward is not None:
             candidates.append((
                 -forward.length, forward.transformations, 0,
@@ -166,11 +283,11 @@ class FuzzyParser:
                     kind=SegmentKind.DICTIONARY,
                 ),
             ))
-        if self._reversed_trie is not None:
+        if self._allow_reverse:
             # Capitalization is a first-letter-of-base rule; under
             # reversal it would surface at the segment's end, which
             # users do not do — only exact/leet readings are matched.
-            backward = self._reversed_trie.longest_fuzzy_match(
+            backward = self._reverse_matcher().longest_fuzzy_match(
                 remainder,
                 allow_capitalization=False,
                 allow_leet=self._allow_leet,
@@ -214,7 +331,7 @@ class FuzzyParser:
         indistinguishable from first-letter capitalization — lose to
         the cheaper first-letter reading via the direction tag).
         """
-        match = self._trie.longest_fuzzy_match(
+        match = self._forward_matcher().longest_fuzzy_match(
             remainder.lower(),
             allow_capitalization=False,
             allow_leet=self._allow_leet,
@@ -241,14 +358,15 @@ class FuzzyParser:
             segment,
         )
 
-    def _fallback_segment(self, remainder: str) -> ParsedSegment:
+    def _fallback_segment(self, password: str,
+                          position: int) -> ParsedSegment:
         """One maximal L/D/S run, canonicalised for the grammar.
 
         Only the capitalization of the *first* character is modelled
         (paper limitation #2), so the base form lower-cases just that
         character; no leet decisions are inferred for fallback runs.
         """
-        run = segment_by_class(remainder)[0].text
+        run = first_run(password, position)
         capitalized = run[0].isupper()
         base = run[0].lower() + run[1:] if capitalized else run
         return ParsedSegment(

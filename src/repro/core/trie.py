@@ -154,6 +154,18 @@ class PrefixTrie:
 
         yield from walk(self._root, "")
 
+    def compile(self) -> "CompiledTrie":
+        """Freeze this trie into a :class:`CompiledTrie`.
+
+        The compiled form answers the same queries from contiguous
+        arrays (no per-node Python objects) and is what the parser's
+        hot path uses.  It is a snapshot: words inserted afterwards do
+        not appear in it.
+        """
+        from repro.core.compiled_trie import CompiledTrie
+
+        return CompiledTrie(self._root, self._min_length, self._size)
+
     # --- exact prefix matching ---------------------------------------
 
     def longest_exact_prefix(self, text: str) -> Optional[str]:

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datasets.corpus import PasswordCorpus
-from repro.meters.ideal import IdealMeter
 
 
 @dataclass(frozen=True)
@@ -98,18 +97,21 @@ def guess_number_scatter(estimator, meter, test_corpus: PasswordCorpus,
         test_corpus: supplies the ideal ranking (by popularity).
         max_rank: keep only the top-``max_rank`` ideal passwords.
     """
-    ideal = IdealMeter(test_corpus.counts())
+    ranked = test_corpus.most_common(max_rank)
+    # One batched probability pass (fuzzyPSM answers it through its
+    # parse cache), then map each score to a guess number.
+    probabilities = meter.probabilities(
+        password for password, _ in ranked
+    )
     points: List[ScatterPoint] = []
-    for rank, (password, _) in enumerate(
-        test_corpus.most_common(max_rank), start=1
+    for rank, ((password, _), probability) in enumerate(
+        zip(ranked, probabilities), start=1
     ):
         points.append(
             ScatterPoint(
                 password=password,
                 ideal_rank=rank,
-                model_guess_number=estimator.guess_number(
-                    meter.probability(password)
-                ),
+                model_guess_number=estimator.guess_number(probability),
             )
         )
     return points

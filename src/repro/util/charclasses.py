@@ -69,6 +69,10 @@ class Segment(NamedTuple):
         return f"{self.char_class.value}{len(self.text)}"
 
 
+#: One maximal same-class run (letters / digits / symbols).
+_RUN_PATTERN = re.compile(r"[A-Za-z]+|[0-9]+|[^A-Za-z0-9]+")
+
+
 def segment_by_class(password: str) -> List[Segment]:
     """Split a password into maximal L/D/S runs.
 
@@ -78,10 +82,26 @@ def segment_by_class(password: str) -> List[Segment]:
     ['Password', '123']
     """
     segments: List[Segment] = []
-    for match in re.finditer(r"[A-Za-z]+|[0-9]+|[^A-Za-z0-9]+", password):
+    for match in _RUN_PATTERN.finditer(password):
         text = match.group(0)
         segments.append(Segment(char_class(text[0]), text))
     return segments
+
+
+def first_run(password: str, start: int = 0) -> str:
+    """Text of the maximal same-class run beginning at ``start``.
+
+    Equivalent to ``segment_by_class(password[start:])[0].text`` but
+    without slicing the remainder or scanning past the first run —
+    the fuzzy parser calls this once per fallback segment.
+
+    >>> first_run("abc123", 3)
+    '123'
+    """
+    match = _RUN_PATTERN.match(password, start)
+    if match is None:
+        raise ValueError(f"no character run at position {start}")
+    return match.group(0)
 
 
 def base_structure(password: str) -> str:

@@ -49,6 +49,19 @@ class FrequencyDistribution(Generic[T]):
         for item in items:
             self.add(item)
 
+    def merge(self, other: "FrequencyDistribution[T]") -> None:
+        """Add every count of ``other`` into this distribution.
+
+        Counting commutes, so merging per-chunk distributions yields
+        exactly the distribution a single pass over the concatenated
+        data would have produced — this is what makes parallel grammar
+        training an exact optimisation rather than an approximation.
+        """
+        counts = self._counts
+        for item, count in other._counts.items():
+            counts[item] = counts.get(item, 0) + count
+        self._total += other._total
+
     # --- queries ----------------------------------------------------
 
     @property
@@ -104,6 +117,14 @@ class FrequencyDistribution(Generic[T]):
         return out
 
     # --- dunder -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Count-table equality (same items with the same counts)."""
+        if not isinstance(other, FrequencyDistribution):
+            return NotImplemented
+        return self._counts == other._counts
+
+    __hash__ = None  # mutable container
 
     def __contains__(self, item: object) -> bool:
         return item in self._counts
