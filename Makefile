@@ -1,24 +1,41 @@
-.PHONY: install test bench examples reproduce clean
+.PHONY: install test bench examples reproduce lint clean
 
 install:
 	pip install -e '.[dev]' --no-build-isolation
 
+# Matches the tier-1 verify command; PYTHONPATH=src means no editable
+# install is needed for any target below.
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
 
 examples:
 	@for script in examples/*.py; do \
 		echo "=== $$script ==="; \
-		python $$script || exit 1; \
+		PYTHONPATH=src python $$script || exit 1; \
 	done
 
 # The full paper reproduction with outputs captured at the repo root.
 reproduce:
-	pytest tests/ 2>&1 | tee test_output.txt
-	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+	PYTHONPATH=src python -m pytest tests/ 2>&1 | tee test_output.txt
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# The static-analysis gate: the domain linter always runs; ruff and
+# mypy run when installed (they are not baked into every container).
+lint:
+	PYTHONPATH=src python -m repro lint src/repro
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/core; \
+	else \
+		echo "mypy not installed; skipping (pip install mypy)"; \
+	fi
 
 clean:
 	rm -rf .pytest_cache .benchmarks build *.egg-info

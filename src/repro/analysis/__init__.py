@@ -1,0 +1,49 @@
+"""Domain-invariant static analysis for the fuzzyPSM codebase.
+
+A small AST-based linter that encodes the reproduction's non-style
+invariants as machine-checkable rules — log-safe probability math,
+seeded randomness, byte-stable serialization, picklable
+multiprocessing workers, and annotation coverage of the public API.
+Run it as ``repro lint src/repro`` or via ``make lint``.
+
+Public surface:
+
+* :func:`~repro.analysis.runner.check_source` — lint one source text;
+* :func:`~repro.analysis.runner.lint_paths` — lint files/directories;
+* :func:`~repro.analysis.runner.run` — CLI driver (reporter + exit
+  code);
+* :class:`~repro.analysis.core.Rule` / :func:`~repro.analysis.registry.register`
+  — extension points for new rules.
+"""
+
+from repro.analysis.core import (
+    LintContext,
+    Rule,
+    Suppression,
+    Violation,
+    find_suppressions,
+)
+from repro.analysis.registry import all_rules, create_rules, register
+from repro.analysis.runner import (
+    check_source,
+    describe_rules,
+    discover_files,
+    lint_paths,
+    run,
+)
+
+__all__ = [
+    "LintContext",
+    "Rule",
+    "Suppression",
+    "Violation",
+    "all_rules",
+    "check_source",
+    "create_rules",
+    "describe_rules",
+    "discover_files",
+    "find_suppressions",
+    "lint_paths",
+    "register",
+    "run",
+]

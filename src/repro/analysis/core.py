@@ -1,0 +1,241 @@
+"""Visitor core of the domain-invariant static-analysis framework.
+
+The framework is a thin, dependency-free layer over :mod:`ast`:
+
+* a :class:`Rule` is an ``ast.NodeVisitor`` subclass with a stable
+  ``rule_id`` (``FPM001``..) that reports :class:`Violation` objects
+  into a shared :class:`LintContext`;
+* :func:`check_source` parses one file, runs every registered rule
+  over the tree, and applies inline suppressions;
+* suppressions are written on the offending line as
+  ``# lint-ok: FPM002 -- <justification>`` — the justification is
+  mandatory, a bare suppression is itself reported (``FPM000``) so
+  silent opt-outs cannot accumulate.
+
+The rules themselves live in :mod:`repro.analysis.rules`; they encode
+fuzzyPSM-specific invariants (log-domain probability handling,
+deterministic training, picklable worker functions) rather than
+generic style, which is delegated to ruff/mypy via ``make lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import ClassVar, Dict, List, Optional, Tuple
+
+#: Rule id reserved for suppression-comment problems.
+SUPPRESSION_RULE_ID = "FPM000"
+#: Rule id reserved for files that do not parse.
+SYNTAX_RULE_ID = "FPM900"
+
+#: ``# lint-ok: FPM002 -- reason`` (ids comma-separated, reason after
+#: a literal ``--``).  The reason part is optional in the grammar but
+#: required by the checker — see :func:`apply_suppressions`.
+SUPPRESSION_RE = re.compile(
+    r"#\s*lint-ok:\s*(?P<ids>FPM\d{3}(?:\s*,\s*FPM\d{3})*)"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+#: Identifier fragments that mark a value as living in the probability
+#: or entropy domain.  Shared by the probability-math rules so they
+#: agree on what "a probability" looks like.
+_PROBABILITY_NAME_RE = re.compile(
+    r"(^|_)(p|prob|probs|probability|probabilities|likelihood|"
+    r"entropy|entropies)($|_)",
+    re.IGNORECASE,
+)
+
+
+def is_probability_name(name: str) -> bool:
+    """Heuristic: does the identifier denote a probability/entropy?
+
+    >>> is_probability_name("probability"), is_probability_name("p_cap")
+    (True, True)
+    >>> is_probability_name("position")
+    False
+    """
+    return _PROBABILITY_NAME_RE.search(name) is not None
+
+
+def probability_expression_name(node: ast.AST) -> Optional[str]:
+    """The identifier a probability-domain expression is rooted at.
+
+    Resolves names, attribute reads and call results — e.g. both
+    ``probability``, ``self.entropy`` and ``meter.probability(pw)``
+    map to an identifier the domain heuristic can judge.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return probability_expression_name(node.func)
+    return None
+
+
+def is_probability_expression(node: ast.AST) -> bool:
+    name = probability_expression_name(node)
+    return name is not None and is_probability_name(name)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: ``path:line:column rule-id message``."""
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# lint-ok:`` comment found in a source file."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: Optional[str]
+
+
+class LintContext:
+    """Per-file state shared by every rule instance."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.violations: List[Violation] = []
+
+    def add(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                column=getattr(node, "col_offset", 0) + 1,
+                rule_id=rule_id,
+                message=message,
+            )
+        )
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement ``visit_*``
+    methods; :meth:`report` files a violation against the current
+    file.  One instance is created per (file, rule) pair, so visitor
+    state never leaks between files.
+    """
+
+    rule_id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+
+    def __init__(self, context: LintContext) -> None:
+        self.context = context
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.context.add(self.rule_id, node, message)
+
+    def check(self, tree: ast.Module) -> None:
+        """Run the rule over a parsed module (default: visit it)."""
+        self.visit(tree)
+
+
+def find_suppressions(source: str) -> List[Suppression]:
+    """Collect every ``# lint-ok:`` comment with its line number.
+
+    Tokenising (rather than grepping lines) keeps string literals that
+    merely *mention* the marker from acting as suppressions.
+    """
+    suppressions: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = SUPPRESSION_RE.search(token.string)
+            if match is None:
+                continue
+            rule_ids = tuple(
+                part.strip() for part in match.group("ids").split(",")
+            )
+            suppressions.append(
+                Suppression(token.start[0], rule_ids, match.group("reason"))
+            )
+    except tokenize.TokenError:
+        pass  # lint-ok: FPM006 -- unterminated source is reported as FPM900 by the parser, not here
+    return suppressions
+
+
+def apply_suppressions(
+    violations: List[Violation],
+    suppressions: List[Suppression],
+    path: str,
+    known_rule_ids: Optional[frozenset] = None,
+) -> List[Violation]:
+    """Drop violations covered by a justified same-line suppression.
+
+    A suppression without a ``-- justification`` does *not* silence
+    anything and is itself reported as ``FPM000``; so is a
+    suppression naming a rule id that does not exist.
+    """
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.line, []).append(suppression)
+
+    kept: List[Violation] = []
+    for violation in violations:
+        covered = False
+        for suppression in by_line.get(violation.line, []):
+            if (
+                violation.rule_id in suppression.rule_ids
+                and suppression.reason
+            ):
+                covered = True
+                break
+        if not covered:
+            kept.append(violation)
+
+    for suppression in suppressions:
+        if not suppression.reason:
+            kept.append(
+                Violation(
+                    path=path,
+                    line=suppression.line,
+                    column=1,
+                    rule_id=SUPPRESSION_RULE_ID,
+                    message=(
+                        "suppression lacks a justification; write "
+                        "'# lint-ok: "
+                        + ", ".join(suppression.rule_ids)
+                        + " -- <why this is safe>'"
+                    ),
+                )
+            )
+        elif known_rule_ids is not None:
+            for rule_id in suppression.rule_ids:
+                if rule_id not in known_rule_ids:
+                    kept.append(
+                        Violation(
+                            path=path,
+                            line=suppression.line,
+                            column=1,
+                            rule_id=SUPPRESSION_RULE_ID,
+                            message=(
+                                f"suppression names unknown rule "
+                                f"{rule_id!r}"
+                            ),
+                        )
+                    )
+    return sorted(kept)

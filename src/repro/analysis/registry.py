@@ -1,0 +1,60 @@
+"""Rule registry: rules self-register at import time.
+
+Keeping registration declarative (a decorator on the rule class) means
+adding a rule is one file edit in :mod:`repro.analysis.rules` — the
+runner, CLI, reporters and ``--select`` filtering all pick it up from
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Type
+
+from repro.analysis.core import LintContext, Rule
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the global registry."""
+    rule_id = rule_class.rule_id
+    if not rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule_id in _RULES and _RULES[rule_id] is not rule_class:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _RULES[rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """The registered rules, keyed and ordered by rule id."""
+    _ensure_loaded()
+    return dict(sorted(_RULES.items()))
+
+
+def rule_ids() -> List[str]:
+    return list(all_rules())
+
+
+def create_rules(
+    context: LintContext, select: Optional[Iterable[str]] = None
+) -> List[Rule]:
+    """Instantiate (optionally a subset of) the registered rules.
+
+    Raises:
+        KeyError: if ``select`` names an unregistered rule id.
+    """
+    registry = all_rules()
+    if select is None:
+        chosen = list(registry)
+    else:
+        chosen = list(select)
+        for rule_id in chosen:
+            if rule_id not in registry:
+                raise KeyError(rule_id)
+    return [registry[rule_id](context) for rule_id in sorted(set(chosen))]
+
+
+def _ensure_loaded() -> None:
+    """Import the rule modules (idempotent) so they self-register."""
+    from repro.analysis import rules  # noqa: F401  (import-for-effect)

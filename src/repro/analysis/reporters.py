@@ -1,0 +1,63 @@
+"""Violation reporters: ``file:line rule-id message`` text and JSON.
+
+Both reporters receive the full violation list plus the number of
+files checked, so the text summary and the JSON envelope stay in
+agreement with each other (and with the runner's exit code).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, TextIO
+
+from repro.analysis.core import Violation
+
+
+def render_text(
+    violations: List[Violation], files_checked: int, stream: TextIO
+) -> None:
+    """One ``path:line:column: rule-id message`` line per violation."""
+    for violation in violations:
+        stream.write(violation.render() + "\n")
+    noun = "file" if files_checked == 1 else "files"
+    if violations:
+        stream.write(
+            f"{len(violations)} violation(s) in {files_checked} "
+            f"{noun} checked\n"
+        )
+    else:
+        stream.write(f"clean: {files_checked} {noun} checked\n")
+
+
+def render_json(
+    violations: List[Violation], files_checked: int, stream: TextIO
+) -> None:
+    """A machine-readable envelope (stable key order for diffing)."""
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+    stream.write(
+        json.dumps(
+            {
+                "files_checked": files_checked,
+                "violation_count": len(violations),
+                "counts_by_rule": dict(sorted(counts.items())),
+                "violations": [
+                    {
+                        "path": violation.path,
+                        "line": violation.line,
+                        "column": violation.column,
+                        "rule_id": violation.rule_id,
+                        "message": violation.message,
+                    }
+                    for violation in violations
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+REPORTERS = {"text": render_text, "json": render_json}

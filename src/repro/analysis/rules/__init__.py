@@ -1,0 +1,17 @@
+"""The rule catalogue.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry`.  Rules are grouped by the invariant
+family they protect:
+
+* :mod:`~repro.analysis.rules.probability` — FPM001/FPM002, the
+  numeric domain of ``P(pw)`` (paper Sec. IV);
+* :mod:`~repro.analysis.rules.determinism` — FPM003/FPM004/FPM005,
+  seeded randomness, byte-stable serialization, picklable workers;
+* :mod:`~repro.analysis.rules.hygiene` — FPM006/FPM007/FPM008,
+  silent excepts, mutable defaults, public-API annotations.
+"""
+
+from repro.analysis.rules import determinism, hygiene, probability
+
+__all__ = ["determinism", "hygiene", "probability"]

@@ -1,0 +1,144 @@
+"""File discovery and the ``repro lint`` entry point.
+
+:func:`check_source` lints one in-memory module (the unit the test
+fixtures target), :func:`lint_paths` walks files/directories, and
+:func:`run` is the CLI-facing wrapper that picks a reporter and turns
+the violation list into an exit code.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterable, List, Optional, Sequence, TextIO
+
+from repro.analysis.core import (
+    SYNTAX_RULE_ID,
+    LintContext,
+    Violation,
+    apply_suppressions,
+    find_suppressions,
+)
+from repro.analysis.registry import all_rules, create_rules
+from repro.analysis.reporters import REPORTERS
+
+#: Directories never descended into during discovery.
+_SKIPPED_DIRECTORIES = frozenset(
+    {"__pycache__", ".git", ".venv", "build", "dist", ".mypy_cache"}
+)
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint one module's source text and return sorted violations.
+
+    Raises:
+        KeyError: if ``select`` names an unknown rule id.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Violation(
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 0) + 1,
+                rule_id=SYNTAX_RULE_ID,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    context = LintContext(path, source)
+    for rule in create_rules(context, select=select):
+        rule.check(tree)
+    return apply_suppressions(
+        context.violations,
+        find_suppressions(source),
+        path,
+        known_rule_ids=frozenset(all_rules()),
+    )
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises:
+        FileNotFoundError: if a named path does not exist.
+    """
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+        elif os.path.isdir(path):
+            for root, directories, files in os.walk(path):
+                directories[:] = sorted(
+                    name
+                    for name in directories
+                    if name not in _SKIPPED_DIRECTORIES
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(path)
+    return sorted(set(found))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+) -> "tuple[List[Violation], int]":
+    """Lint paths; returns ``(violations, files_checked)``."""
+    violations: List[Violation] = []
+    files = discover_files(paths)
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        violations.extend(check_source(source, path=path, select=select))
+    return sorted(violations), len(files)
+
+
+def run(
+    paths: Sequence[str],
+    output_format: str = "text",
+    select: Optional[str] = None,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """CLI driver: lint, report, and map the result to an exit code.
+
+    Exit codes: 0 clean, 1 violations found, 2 usage error (unknown
+    rule id, missing path, unknown format).
+    """
+    stream = stream if stream is not None else sys.stdout
+    reporter = REPORTERS.get(output_format)
+    if reporter is None:
+        print(f"error: unknown format {output_format!r}", file=sys.stderr)
+        return 2
+    selected = None
+    if select:
+        selected = [part.strip() for part in select.split(",") if part.strip()]
+    try:
+        violations, files_checked = lint_paths(paths, select=selected)
+    except KeyError as error:
+        known = ", ".join(all_rules())
+        print(
+            f"error: unknown rule id {error.args[0]!r} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: no such path: {error.args[0]}", file=sys.stderr)
+        return 2
+    reporter(violations, files_checked, stream)
+    return 1 if violations else 0
+
+
+def describe_rules() -> List["tuple[str, str, str]"]:
+    """``(rule_id, name, summary)`` rows for ``repro lint --list-rules``."""
+    return [
+        (rule_id, rule.name, rule.summary)
+        for rule_id, rule in all_rules().items()
+    ]

@@ -168,6 +168,25 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("corpus", help="corpus file (plain or counted)")
     profile.add_argument("--online-budget", type=int, default=1_000)
 
+    lint = commands.add_parser(
+        "lint", help="run the domain-invariant static analyser"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", dest="output_format",
+        choices=("text", "json"), default="text",
+    )
+    lint.add_argument(
+        "--select", help="comma-separated rule ids, e.g. FPM001,FPM006"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
     return parser
 
 
@@ -406,6 +425,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import describe_rules, run as run_lint
+    if args.list_rules:
+        print(format_table(
+            ["id", "name", "summary"],
+            [list(row) for row in describe_rules()],
+            title="repro lint rule catalogue",
+        ))
+        return 0
+    return run_lint(
+        args.paths, output_format=args.output_format, select=args.select,
+    )
+
+
 _HANDLERS = {
     "survey": _cmd_survey,
     "generate": _cmd_generate,
@@ -418,6 +451,7 @@ _HANDLERS = {
     "coach": _cmd_coach,
     "attack": _cmd_attack,
     "profile": _cmd_profile,
+    "lint": _cmd_lint,
 }
 
 

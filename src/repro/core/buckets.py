@@ -159,7 +159,7 @@ def calibrate_scale(meter: Meter, corpus: PasswordCorpus,
     cumulative = 0
     for entropy, count in weighted:
         cumulative += count
-        if distinct and distinct[-1][0] == entropy:
+        if distinct and distinct[-1][0] == entropy:  # lint-ok: FPM001 -- collapsing sort-adjacent duplicates: equal keys from the same sort are bitwise-identical, no arithmetic between them
             distinct[-1] = (entropy, cumulative)
         else:
             distinct.append((entropy, cumulative))

@@ -47,7 +47,7 @@ from __future__ import annotations
 from array import array
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.core.trie import FuzzyMatch, _TOGGLE
+from repro.core.trie import FuzzyMatch, _Node, _TOGGLE
 
 #: Upper bound on bits reserved for the character ordinal in a packed
 #: transition key; 21 bits cover the full Unicode range (max code point
@@ -84,7 +84,7 @@ class CompiledTrie:
         "_ord_bound", "_toggle_ord", "_min_length", "_size",
     )
 
-    def __init__(self, root, min_length: int, size: int) -> None:
+    def __init__(self, root: _Node, min_length: int, size: int) -> None:
         """Flatten a pointer-trie ``root`` (a ``trie._Node``).
 
         Prefer :meth:`PrefixTrie.compile` over calling this directly.

@@ -20,14 +20,28 @@ every rule in its derivation (Fig. 11 of the paper).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.util.freqdist import FrequencyDistribution
 from repro.util.leet import LEET_RULE_NAMES, LEET_BY_LETTER, LEET_BY_SUBSTITUTE
 
 #: A base structure is the tuple of segment lengths, e.g. ``(8, 1)``.
 Structure = Tuple[int, ...]
+
+_T = TypeVar("_T", bound=Hashable)
 
 
 def structure_label(structure: Structure) -> str:
@@ -210,7 +224,7 @@ class FuzzyGrammar:
             and self.leet == other.leet
         )
 
-    __hash__ = None  # mutable container
+    __hash__ = None  # type: ignore[assignment]  # mutable container
 
     # --- probabilities -------------------------------------------------
 
@@ -329,7 +343,7 @@ class FuzzyGrammar:
 
     # --- sampling ---------------------------------------------------------
 
-    def sample(self, rng) -> Tuple[str, float]:
+    def sample(self, rng: random.Random) -> Tuple[str, float]:
         """Draw one password from the grammar's distribution.
 
         Returns ``(password, probability)``; used by the Monte-Carlo
@@ -339,7 +353,9 @@ class FuzzyGrammar:
         derivation, probability = self.sample_derivation(rng)
         return derivation.surface(), probability
 
-    def sample_derivation(self, rng) -> Tuple[Derivation, float]:
+    def sample_derivation(
+        self, rng: random.Random
+    ) -> Tuple[Derivation, float]:
         """Draw one full derivation (not just its surface string).
 
         Exposing the derivation lets callers check whether the sample is
@@ -379,7 +395,7 @@ class FuzzyGrammar:
 
     # --- serialisation -----------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable snapshot of every count table."""
         return {
             "structures": [
@@ -412,7 +428,7 @@ class FuzzyGrammar:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FuzzyGrammar":
+    def from_dict(cls, data: Dict[str, Any]) -> "FuzzyGrammar":
         grammar = cls()
         for structure, count in data["structures"]:
             grammar.structures.add(tuple(structure), count)
@@ -439,13 +455,17 @@ class FuzzyGrammar:
         return grammar
 
 
-def _sample_freqdist(dist: FrequencyDistribution, rng):
+def _sample_freqdist(
+    dist: "FrequencyDistribution[_T]", rng: random.Random
+) -> _T:
     """Draw one item from a frequency distribution by its counts."""
     target = rng.random() * dist.total
     cumulative = 0
-    item = None
+    item: Optional[_T] = None
     for item, count in dist.items():
         cumulative += count
         if cumulative > target:
             return item
+    if item is None:
+        raise ValueError("cannot sample from an empty distribution")
     return item  # numeric edge: fall through to the last item

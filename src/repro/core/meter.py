@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.grammar import (
     Derivation,
@@ -208,7 +208,7 @@ class FuzzyPSM(ProbabilisticMeter):
             return [self.probability(pw) for pw in passwords]
         grammar = self._grammar
         parse = self._parser.parse_cached
-        batch: dict = {}
+        batch: Dict[str, float] = {}
         out: List[float] = []
         for password in passwords:
             probability = batch.get(password)
@@ -295,7 +295,7 @@ class FuzzyPSM(ProbabilisticMeter):
             self._base_words = list(self._trie.iter_words())
         return self._base_words
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable snapshot: base trie, grammar and config."""
         return {
             "config": {
@@ -312,7 +312,7 @@ class FuzzyPSM(ProbabilisticMeter):
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FuzzyPSM":
+    def from_dict(cls, data: Dict[str, Any]) -> "FuzzyPSM":
         config = FuzzyPSMConfig(**data["config"])
         trie = PrefixTrie(
             data["base_words"], min_length=config.min_base_length
@@ -351,9 +351,9 @@ class FuzzyPSM(ProbabilisticMeter):
         Lazily merges, over all learned base structures, the product of
         per-slot variant streams (terminal x capitalization x leet).
         """
-        slot_cache: dict = {}
+        slot_cache: Dict[int, LazyDescendingList[str]] = {}
 
-        def slot_list(length: int) -> LazyDescendingList:
+        def slot_list(length: int) -> LazyDescendingList[str]:
             if length not in slot_cache:
                 slot_cache[length] = LazyDescendingList(
                     self._slot_variants(length)
@@ -366,7 +366,7 @@ class FuzzyPSM(ProbabilisticMeter):
             for surfaces, probability in descending_products(factors):
                 yield "".join(surfaces), probability
 
-        streams = []
+        streams: List[Tuple[float, Iterator[Tuple[str, float]]]] = []
         total = self._grammar.structures.total
         if total == 0:
             return
@@ -390,7 +390,11 @@ class FuzzyPSM(ProbabilisticMeter):
         total = table.total
 
         def variants_of(base: str) -> Iterator[Tuple[str, float]]:
-            factors = [self._case_reverse_factor(base)]
+            # Heterogeneous slots (case/reverse choices vs leet-toggle
+            # offsets), so the factor element type is Any by design.
+            factors: List[List[Tuple[Any, float]]] = [
+                self._case_reverse_factor(base)
+            ]
             for offset, ch in enumerate(base):
                 rule = leet_rule_for_char(ch)
                 if rule is not None:
@@ -410,7 +414,9 @@ class FuzzyPSM(ProbabilisticMeter):
         ]
         return merge_weighted_descending(weighted)
 
-    def _case_reverse_factor(self, base: str):
+    def _case_reverse_factor(
+        self, base: str
+    ) -> List[Tuple[Tuple[bool, bool, bool], float]]:
         """(capitalized, reversed, all_caps) choices for a slot.
 
         Enumeration must only emit variants the measuring parse can
@@ -460,7 +466,9 @@ class FuzzyPSM(ProbabilisticMeter):
         options.sort(key=lambda item: (-item[1], item[0]))
         return options
 
-    def _leet_factor(self, rule: str, offset: int):
+    def _leet_factor(
+        self, rule: str, offset: int
+    ) -> List[Tuple[Optional[int], float]]:
         p_yes = self._grammar.leet_probability(rule, True)
         p_no = self._grammar.leet_probability(rule, False)
         options = [(None, p_no), (offset, p_yes)]

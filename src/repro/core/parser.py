@@ -33,7 +33,7 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.compiled_trie import CompiledTrie
 from repro.core.grammar import Derivation, DerivedSegment
@@ -154,7 +154,7 @@ class FuzzyParser:
         return self._use_compiled
 
     @property
-    def flags(self) -> dict:
+    def flags(self) -> Dict[str, bool]:
         """Constructor keywords reproducing this parser's behaviour
         (used to rebuild equivalent parsers in worker processes)."""
         return {
@@ -320,7 +320,9 @@ class FuzzyParser:
         candidates.sort(key=lambda item: item[:4])
         return candidates[0][4]
 
-    def _allcaps_candidate(self, remainder: str):
+    def _allcaps_candidate(
+        self, remainder: str
+    ) -> Optional[Tuple[int, int, int, str, ParsedSegment]]:
         """An all-caps reading: the observed prefix is a stored word
         with every letter upper-cased (limitation-#2 extension).
 

@@ -17,7 +17,7 @@ identical (same count tables) to the serial result.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.grammar import FuzzyGrammar
 from repro.core.parser import FuzzyParser
@@ -44,7 +44,9 @@ def build_base_trie(base_dictionary: Iterable[str],
     return trie
 
 
-def _iter_entries(passwords: Iterable[PasswordEntry]):
+def _iter_entries(
+    passwords: Iterable[PasswordEntry],
+) -> Iterator[Tuple[str, int]]:
     """Normalise entries to ``(password, count)``, validating counts.
 
     A non-positive count would silently corrupt every table it touches
@@ -70,7 +72,9 @@ def _iter_entries(passwords: Iterable[PasswordEntry]):
 _WORKER_PARSER: Optional[FuzzyParser] = None
 
 
-def _worker_init(words: List[str], min_length: int, flags: dict) -> None:
+def _worker_init(
+    words: List[str], min_length: int, flags: Dict[str, bool]
+) -> None:
     """Process-pool initialiser: rebuild the trie and parser locally.
 
     Workers receive the sorted word list rather than a pickled pointer

@@ -9,7 +9,7 @@ the benchmark meter — its order is the guess number.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.meters.base import ProbabilisticMeter
 from repro.util.freqdist import FrequencyDistribution
@@ -68,11 +68,13 @@ class IdealMeter(ProbabilisticMeter):
         """1-based rank in the frequency-sorted list; None if unseen."""
         return self._guess_numbers.get(password)
 
-    def top(self, k: int):
+    def top(self, k: int) -> List[Tuple[str, int]]:
         """The ``k`` most popular passwords with their counts."""
         return self._distribution.most_common(k)
 
-    def iter_guesses(self, limit: Optional[int] = None):
+    def iter_guesses(
+        self, limit: Optional[int] = None
+    ) -> Iterator[Tuple[str, float]]:
         total = self._distribution.total
         for index, (password, count) in enumerate(
             self._distribution.most_common()

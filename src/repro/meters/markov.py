@@ -27,7 +27,7 @@ import enum
 import math
 import random
 import string
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.meters.base import ProbabilisticMeter
 from repro.util.charclasses import PRINTABLE_ASCII
@@ -99,7 +99,9 @@ class MarkovMeter(ProbabilisticMeter):
     # --- training --------------------------------------------------------
 
     @classmethod
-    def train(cls, training: Iterable[PasswordEntry], **kwargs) -> "MarkovMeter":
+    def train(
+        cls, training: Iterable[PasswordEntry], **kwargs: Any
+    ) -> "MarkovMeter":
         meter = cls(**kwargs)
         for entry in training:
             if isinstance(entry, str):

@@ -20,7 +20,10 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.meters.base import Meter, entropy_to_probability
 from repro.meters.zxcvbn.matching import MatchCollector, Match
-from repro.meters.zxcvbn.scoring import minimum_entropy_match_sequence
+from repro.meters.zxcvbn.scoring import (
+    MatchSequence,
+    minimum_entropy_match_sequence,
+)
 from repro.meters.zxcvbn.frequency_lists import DEFAULT_RANKED_DICTIONARIES
 from repro.meters.zxcvbn.crack_time import StrengthReport, strength_report
 
@@ -67,7 +70,7 @@ class ZxcvbnMeter(Meter):
         )
         return result.entropy
 
-    def match_sequence(self, password: str):
+    def match_sequence(self, password: str) -> MatchSequence:
         """The minimum-entropy cover (list of matches incl. bruteforce)."""
         return minimum_entropy_match_sequence(
             password, self._collector.all_matches(password)

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datasets.corpus import PasswordCorpus
+from repro.meters.base import Meter
+from repro.metrics.guessnumber import MonteCarloEstimator
 
 
 @dataclass(frozen=True)
@@ -85,7 +87,8 @@ class ScatterPoint:
         )
 
 
-def guess_number_scatter(estimator, meter, test_corpus: PasswordCorpus,
+def guess_number_scatter(estimator: MonteCarloEstimator, meter: Meter,
+                         test_corpus: PasswordCorpus,
                          max_rank: Optional[int] = None
                          ) -> List[ScatterPoint]:
     """Fig.-10 scatter data: ideal rank vs model guess number.

@@ -22,7 +22,19 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Iterable, Iterator, List, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 T = TypeVar("T")
 
@@ -30,7 +42,7 @@ T = TypeVar("T")
 Factor = Sequence[Tuple[T, float]]
 
 
-class LazyDescendingList:
+class LazyDescendingList(Generic[T]):
     """An indexable view over a descending ``(value, prob)`` iterator.
 
     Items are pulled from the underlying iterator on demand and cached,
@@ -43,7 +55,7 @@ class LazyDescendingList:
         self._buffer: List[Tuple[T, float]] = []
         self._exhausted = False
 
-    def get(self, index: int):
+    def get(self, index: int) -> Optional[Tuple[T, float]]:
         """The ``index``-th item, or ``None`` when the stream is shorter."""
         while len(self._buffer) <= index and not self._exhausted:
             item = next(self._stream, None)
@@ -56,7 +68,14 @@ class LazyDescendingList:
         return None
 
 
-def _factor_item(factor, index: int):
+#: What :func:`descending_products` accepts per slot: a materialised
+#: factor list or a shared lazy stream view.
+FactorLike = Union[Factor[T], LazyDescendingList[T]]
+
+
+def _factor_item(
+    factor: "FactorLike[T]", index: int
+) -> Optional[Tuple[T, float]]:
     """Index into either a sequence factor or a LazyDescendingList."""
     if isinstance(factor, LazyDescendingList):
         return factor.get(index)
@@ -78,7 +97,7 @@ def _validate_factor(factor: Factor) -> None:
 
 
 def descending_products(
-    factors: Sequence[Factor],
+    factors: "Sequence[FactorLike[T]]",
     validate: bool = False,
 ) -> Iterator[Tuple[Tuple[T, ...], float]]:
     """Enumerate the product of sorted factors in decreasing order.
@@ -118,10 +137,12 @@ def descending_products(
     seen = {start}
     while heap:
         negative_probability, indices = heapq.heappop(heap)
-        values = tuple(
-            _factor_item(factor, index)[0]
+        popped = [
+            _factor_item(factor, index)
             for factor, index in zip(factors, indices)
-        )
+        ]
+        assert all(item is not None for item in popped)
+        values = tuple(item[0] for item in popped if item is not None)
         yield values, -negative_probability
         for position in range(len(factors)):
             successor_index = indices[position] + 1
@@ -187,7 +208,7 @@ def deduplicate_guesses(
     cracking session tries each string once, so enumeration-based guess
     numbers must deduplicate.
     """
-    seen = set()
+    seen: Set[str] = set()
     for guess, probability in guesses:
         marker = key(guess)
         if marker in seen:

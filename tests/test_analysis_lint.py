@@ -1,0 +1,496 @@
+"""Tests for the domain-invariant linter (repro.analysis).
+
+Covers, per ISSUE 2: positive/negative fixture snippets for every
+rule, reporter golden output, suppression semantics, the CLI
+subcommand, and the meta-test that ``src/repro`` itself is lint-clean.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    all_rules,
+    check_source,
+    describe_rules,
+    lint_paths,
+    run,
+)
+from repro.cli import main as cli_main
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def rule_ids_of(source, select=None):
+    """The sorted rule ids the linter reports for a snippet.
+
+    ``select`` scopes negative tests to the rule under test, so
+    deliberately-minimal fixtures (e.g. unannotated ``def f``) do not
+    trip unrelated rules.
+    """
+    snippet = textwrap.dedent(source)
+    return sorted({v.rule_id for v in check_source(snippet, select=select)})
+
+
+def lines_of(source, select=None):
+    snippet = textwrap.dedent(source)
+    return [
+        (v.rule_id, v.line)
+        for v in check_source(snippet, select=select)
+    ]
+
+
+class TestRegistry:
+    def test_all_eight_domain_rules_registered(self):
+        assert list(all_rules()) == [
+            "FPM001", "FPM002", "FPM003", "FPM004",
+            "FPM005", "FPM006", "FPM007", "FPM008",
+        ]
+
+    def test_descriptions_cover_every_rule(self):
+        rows = describe_rules()
+        assert [row[0] for row in rows] == list(all_rules())
+        assert all(row[1] and row[2] for row in rows)
+
+
+class TestFloatProbabilityCompare:
+    def test_flags_probability_equality(self):
+        assert "FPM001" in rule_ids_of("""
+            def f(probability, expected):
+                return probability == expected
+        """)
+
+    def test_flags_entropy_inequality_and_method_calls(self):
+        assert "FPM001" in rule_ids_of("""
+            def f(meter, pw, x):
+                return meter.entropy(pw) != x
+        """)
+
+    def test_allows_exact_sentinels(self):
+        assert rule_ids_of("""
+            def f(probability, entropy):
+                import math
+                return (probability == 0.0 or probability == 1
+                        or entropy == math.inf
+                        or entropy == float("inf"))
+        """, select=["FPM001"]) == []
+
+    def test_allows_ordering_and_non_probability_names(self):
+        assert rule_ids_of("""
+            def f(probability, position, other):
+                return probability >= 0.5 and position == other
+        """, select=["FPM001"]) == []
+
+
+class TestRawProbabilityProduct:
+    def test_flags_math_prod(self):
+        assert "FPM002" in rule_ids_of("""
+            import math
+            def f(probabilities):
+                return math.prod(probabilities)
+        """)
+
+    def test_flags_product_accumulation(self):
+        assert "FPM002" in rule_ids_of("""
+            def f(factors):
+                probability = 1.0
+                for factor in factors:
+                    probability *= factor
+                return probability
+        """)
+
+    def test_blessed_kernel_is_allowed(self):
+        assert rule_ids_of("""
+            class FuzzyGrammar:
+                def derivation_probability(self, derivation):
+                    probability = 1.0
+                    for segment in derivation:
+                        probability *= 0.5
+                    return probability
+        """, select=["FPM002"]) == []
+
+    def test_non_probability_accumulation_is_allowed(self):
+        assert rule_ids_of("""
+            def f(values):
+                total = 1
+                for value in values:
+                    total *= value
+                return total
+        """, select=["FPM002"]) == []
+
+
+class TestUnseededRandom:
+    def test_flags_global_rng_calls(self):
+        assert "FPM003" in rule_ids_of("""
+            import random
+            def f():
+                return random.random()
+        """)
+
+    def test_flags_seedless_random_instance_and_seed(self):
+        ids = [rid for rid, _ in lines_of("""
+            import random
+            def f():
+                random.seed(42)
+                return random.Random()
+        """)]
+        assert ids.count("FPM003") == 2
+
+    def test_flags_from_import_of_global_functions(self):
+        assert "FPM003" in rule_ids_of("""
+            from random import choice
+            def f(items):
+                return choice(items)
+        """)
+
+    def test_flags_numpy_global_state(self):
+        assert "FPM003" in rule_ids_of("""
+            import numpy as np
+            def f():
+                return np.random.rand(3)
+        """)
+
+    def test_allows_seeded_instances(self):
+        assert rule_ids_of("""
+            import random
+            import numpy as np
+            def f(rng: random.Random):
+                seeded = random.Random(0)
+                gen = np.random.default_rng(7)
+                return rng.random() + seeded.random()
+        """, select=["FPM003"]) == []
+
+
+class TestUnorderedSerialization:
+    def test_flags_set_iteration_in_to_dict(self):
+        assert "FPM004" in rule_ids_of("""
+            def to_dict(words):
+                return [w for w in set(words)]
+        """)
+
+    def test_flags_set_literal_in_merge_for_loop(self):
+        assert "FPM004" in rule_ids_of("""
+            def merge(a, b):
+                out = []
+                for item in {a, b}:
+                    out.append(item)
+                return out
+        """)
+
+    def test_sorted_wrapper_is_allowed(self):
+        assert rule_ids_of("""
+            def to_dict(words):
+                return [w for w in sorted(set(words))]
+        """, select=["FPM004"]) == []
+
+    def test_set_iteration_outside_serialization_is_allowed(self):
+        assert rule_ids_of("""
+            def score(words):
+                return [w for w in set(words)]
+        """, select=["FPM004"]) == []
+
+
+class TestUnpicklableWorker:
+    def test_flags_lambda_passed_to_pool(self):
+        assert "FPM005" in rule_ids_of("""
+            import multiprocessing
+            def f(chunks):
+                with multiprocessing.Pool(2) as pool:
+                    return pool.map(lambda c: c, chunks)
+        """)
+
+    def test_flags_nested_function_worker(self):
+        assert "FPM005" in rule_ids_of("""
+            import multiprocessing
+            def f(chunks):
+                def work(chunk):
+                    return chunk
+                with multiprocessing.Pool(2) as pool:
+                    return pool.map(work, chunks)
+        """)
+
+    def test_flags_lambda_initializer_keyword(self):
+        assert "FPM005" in rule_ids_of("""
+            import multiprocessing
+            def f():
+                return multiprocessing.Pool(
+                    2, initializer=lambda: None
+                )
+        """)
+
+    def test_module_level_worker_is_allowed(self):
+        assert rule_ids_of("""
+            import multiprocessing
+            def work(chunk):
+                return chunk
+            def f(chunks):
+                with multiprocessing.Pool(2) as pool:
+                    return pool.map(work, chunks)
+        """, select=["FPM005"]) == []
+
+    def test_inactive_without_multiprocessing_import(self):
+        assert rule_ids_of("""
+            def f(items):
+                return items.map(lambda x: x)
+        """, select=["FPM005"]) == []
+
+
+class TestSilentExcept:
+    def test_flags_bare_except(self):
+        assert "FPM006" in rule_ids_of("""
+            def f():
+                try:
+                    return 1
+                except:
+                    return 0
+        """)
+
+    def test_flags_except_exception_pass(self):
+        assert "FPM006" in rule_ids_of("""
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    pass
+        """)
+
+    def test_narrow_handler_is_allowed(self):
+        assert rule_ids_of("""
+            def f():
+                try:
+                    return 1
+                except ValueError:
+                    return 0
+        """, select=["FPM006"]) == []
+
+    def test_broad_handler_with_real_body_is_allowed(self):
+        assert rule_ids_of("""
+            def f(log):
+                try:
+                    return 1
+                except Exception as error:
+                    log(error)
+                    raise
+        """, select=["FPM006"]) == []
+
+
+class TestMutableDefault:
+    def test_flags_list_dict_and_constructor_defaults(self):
+        ids = [rid for rid, _ in lines_of("""
+            def f(a=[], b={}, *, c=dict()):
+                return a, b, c
+        """)]
+        assert ids.count("FPM007") == 3
+
+    def test_none_and_immutable_defaults_are_allowed(self):
+        assert rule_ids_of("""
+            def f(a=None, b=(), c="x", d=0):
+                return a, b, c, d
+        """, select=["FPM007"]) == []
+
+
+class TestMissingAnnotations:
+    def test_flags_unannotated_public_function(self):
+        ids = rule_ids_of("""
+            def public(value):
+                return value
+        """)
+        assert ids == ["FPM008"]
+
+    def test_flags_unannotated_public_method(self):
+        assert "FPM008" in rule_ids_of("""
+            class Meter:
+                def score(self, password: str):
+                    return 0.0
+        """)
+
+    def test_private_and_nested_functions_are_exempt(self):
+        assert rule_ids_of("""
+            def _helper(value):
+                return value
+            def public(value: int) -> int:
+                def inner(x):
+                    return x
+                return inner(value)
+        """) == []
+
+    def test_fully_annotated_is_clean(self):
+        assert rule_ids_of("""
+            from typing import Optional
+            class Meter:
+                def score(self, password: str,
+                          limit: Optional[int] = None) -> float:
+                    return 0.0
+        """) == []
+
+
+class TestSuppressions:
+    def test_justified_suppression_silences_the_line(self):
+        assert rule_ids_of("""
+            def f():
+                try:
+                    return 1
+                except:  # lint-ok: FPM006 -- exercised by a fixture
+                    return 0
+        """, select=["FPM006"]) == []
+
+    def test_suppression_without_reason_is_reported(self):
+        ids = rule_ids_of("""
+            def f():
+                try:
+                    return 1
+                except:  # lint-ok: FPM006
+                    return 0
+        """, select=["FPM006"])
+        assert ids == ["FPM000", "FPM006"]
+
+    def test_suppression_of_unknown_rule_is_reported(self):
+        ids = rule_ids_of("""
+            x = 1  # lint-ok: FPM999 -- no such rule
+        """)
+        assert "FPM000" in ids
+
+    def test_suppression_only_covers_its_own_rule(self):
+        ids = rule_ids_of("""
+            def f():
+                try:
+                    return 1
+                except:  # lint-ok: FPM001 -- wrong rule id
+                    return 0
+        """)
+        assert "FPM006" in ids
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        ids = rule_ids_of("""
+            def f():
+                marker = "# lint-ok: FPM006 -- not a comment"
+                try:
+                    return marker
+                except:
+                    return 0
+        """, select=["FPM006"])
+        assert ids == ["FPM006"]
+
+
+class TestSelectAndSyntax:
+    def test_select_restricts_to_one_rule(self):
+        snippet = textwrap.dedent("""
+            def f(a=[]):
+                try:
+                    return a
+                except:
+                    return None
+        """)
+        violations = check_source(snippet, select=["FPM007"])
+        assert {v.rule_id for v in violations} == {"FPM007"}
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(KeyError):
+            check_source("x = 1", select=["FPM777"])
+
+    def test_syntax_error_is_reported_not_raised(self):
+        violations = check_source("def broken(:\n")
+        assert [v.rule_id for v in violations] == ["FPM900"]
+
+
+FIXTURE = textwrap.dedent("""\
+    def public(value):
+        try:
+            return value
+        except:
+            return None
+""")
+
+
+class TestReporters:
+    def test_text_report_golden(self, tmp_path):
+        path = tmp_path / "fixture.py"
+        path.write_text(FIXTURE)
+        stream = io.StringIO()
+        code = run([str(path)], output_format="text", stream=stream)
+        assert code == 1
+        assert stream.getvalue() == (
+            f"{path}:1:1: FPM008 public function public() is missing "
+            "a return annotation\n"
+            f"{path}:1:1: FPM008 public function public() is missing "
+            "parameter annotations: value\n"
+            f"{path}:4:5: FPM006 bare except catches "
+            "SystemExit/KeyboardInterrupt too; name the exceptions "
+            "this path can actually handle\n"
+            "3 violation(s) in 1 file checked\n"
+        )
+
+    def test_text_report_clean_file(self, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text("VALUE: int = 1\n")
+        stream = io.StringIO()
+        code = run([str(path)], output_format="text", stream=stream)
+        assert code == 0
+        assert stream.getvalue() == "clean: 1 file checked\n"
+
+    def test_json_report_structure(self, tmp_path):
+        path = tmp_path / "fixture.py"
+        path.write_text(FIXTURE)
+        stream = io.StringIO()
+        code = run([str(path)], output_format="json", stream=stream)
+        assert code == 1
+        payload = json.loads(stream.getvalue())
+        assert payload["files_checked"] == 1
+        assert payload["violation_count"] == 3
+        assert payload["counts_by_rule"] == {"FPM006": 1, "FPM008": 2}
+        first = payload["violations"][0]
+        assert set(first) == {"path", "line", "column", "rule_id",
+                              "message"}
+
+    def test_unknown_format_is_usage_error(self, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text("VALUE: int = 1\n")
+        assert run([str(path)], output_format="xml") == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert run([str(tmp_path / "absent")]) == 2
+
+
+class TestCli:
+    def test_lint_subcommand_reports_and_fails(self, tmp_path, capsys):
+        path = tmp_path / "fixture.py"
+        path.write_text(FIXTURE)
+        code = cli_main(["lint", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert f"{path}:4:5: FPM006" in out
+
+    def test_lint_subcommand_clean_exit(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("VALUE: int = 1\n")
+        assert cli_main(["lint", str(path)]) == 0
+        assert "clean: 1 file checked" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in all_rules():
+            assert rule_id in out
+
+
+class TestRepoIsClean:
+    def test_src_repro_is_lint_clean(self):
+        violations, files_checked = lint_paths([str(SRC_ROOT)])
+        assert files_checked > 60
+        assert violations == []
+
+    def test_repo_suppressions_all_carry_justifications(self):
+        # apply_suppressions already enforces this (FPM000), but assert
+        # it end-to-end so a framework regression cannot mask it.
+        from repro.analysis import find_suppressions
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            for suppression in find_suppressions(path.read_text()):
+                assert suppression.reason, (
+                    f"{path}:{suppression.line} suppression has no "
+                    "justification"
+                )
