@@ -1,4 +1,4 @@
-.PHONY: install test bench examples reproduce lint clean
+.PHONY: install test bench examples reproduce lint coverage clean
 
 install:
 	pip install -e '.[dev]' --no-build-isolation
@@ -37,6 +37,17 @@ lint:
 		echo "mypy not installed; skipping (pip install mypy)"; \
 	fi
 
+# The CI coverage ratchet, runnable locally.  Falls back to the
+# dependency-free tracer when the coverage package is not installed.
+coverage:
+	@if python -c 'import coverage' >/dev/null 2>&1; then \
+		PYTHONPATH=src python -m coverage run -m pytest -q && \
+		PYTHONPATH=src python -m coverage report; \
+	else \
+		echo "coverage not installed; using tools/measure_coverage.py"; \
+		PYTHONPATH=src python tools/measure_coverage.py; \
+	fi
+
 clean:
-	rm -rf .pytest_cache .benchmarks build *.egg-info
+	rm -rf .pytest_cache .benchmarks build *.egg-info .coverage htmlcov coverage.xml
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -9,9 +9,11 @@ family they protect:
 * :mod:`~repro.analysis.rules.determinism` — FPM003/FPM004/FPM005,
   seeded randomness, byte-stable serialization, picklable workers;
 * :mod:`~repro.analysis.rules.hygiene` — FPM006/FPM007/FPM008,
-  silent excepts, mutable defaults, public-API annotations.
+  silent excepts, mutable defaults, public-API annotations;
+* :mod:`~repro.analysis.rules.timing` — FPM009, the injectable
+  telemetry clock as the only wall-clock source.
 """
 
-from repro.analysis.rules import determinism, hygiene, probability
+from repro.analysis.rules import determinism, hygiene, probability, timing
 
-__all__ = ["determinism", "hygiene", "probability"]
+__all__ = ["determinism", "hygiene", "probability", "timing"]

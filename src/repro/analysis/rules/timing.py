@@ -1,0 +1,98 @@
+"""Timing rule: one blessed clock source for the whole codebase.
+
+The observability layer (:mod:`repro.obs`) owns timing: spans read the
+backend's injectable clock, and the module-level
+:data:`repro.obs.core.now` is the blessed raw timestamp for the rare
+code that needs one (e.g. worker-side chunk timing).  A stray
+``time.perf_counter()`` elsewhere bypasses that injection point — the
+code becomes untestable without wall-clock sleeps and invisible to
+profiling sessions.  FPM009 makes the bypass a lint failure.
+
+Exempt by path: the ``obs`` package itself (it must touch the real
+clock somewhere) and ``benchmarks`` (whose entire point is wall-clock
+measurement).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Set
+
+from repro.analysis.core import LintContext, Rule
+from repro.analysis.registry import register
+
+#: :mod:`time` functions that read a clock.
+_CLOCK_FUNCTIONS = frozenset(
+    {
+        "time", "time_ns",
+        "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns",
+        "process_time", "process_time_ns",
+    }
+)
+
+#: Path segments whose files may touch the real clock directly.
+_EXEMPT_SEGMENTS = frozenset({"obs", "benchmarks"})
+
+
+@register
+class DirectClockRule(Rule):
+    """FPM009: no direct wall-clock reads outside obs/ and benchmarks/."""
+
+    rule_id = "FPM009"
+    name = "direct-clock"
+    summary = (
+        "direct time.time()/perf_counter() calls bypass the injectable "
+        "telemetry clock; import `now` from repro.obs.core instead"
+    )
+
+    def __init__(self, context: LintContext) -> None:
+        super().__init__(context)
+        #: Local aliases of the :mod:`time` module (``import time as t``).
+        self._time_modules: Set[str] = set()
+        #: Clock functions imported by name, keyed by local alias.
+        self._from_time: dict = {}
+
+    def check(self, tree: ast.Module) -> None:
+        segments = set(re.split(r"[\\/]", self.context.path))
+        if segments & _EXEMPT_SEGMENTS:
+            return
+        self.visit(tree)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self._time_modules.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_FUNCTIONS:
+                    self._from_time[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _CLOCK_FUNCTIONS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._time_modules
+        ):
+            self._report_clock_call(node, f"time.{func.attr}")
+        elif isinstance(func, ast.Name) and func.id in self._from_time:
+            self._report_clock_call(
+                node, f"time.{self._from_time[func.id]}"
+            )
+        self.generic_visit(node)
+
+    def _report_clock_call(self, node: ast.Call, call: str) -> None:
+        self.report(
+            node,
+            f"{call}() reads the wall clock directly, bypassing the "
+            "injectable telemetry clock; use `from repro.obs.core "
+            "import now` (or a Span) so tests and profiles can swap "
+            "the clock",
+        )

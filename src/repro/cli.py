@@ -12,12 +12,15 @@ Commands cover the full paper workflow:
 * ``experiment``  — run one scenario and print its Fig.-13 curves;
 * ``coach``       — suggest stronger variants of a weak password;
 * ``attack``      — simulate Table I's online/offline attackers;
-* ``profile``     — partial-guessing profile of a corpus file.
+* ``profile``     — partial-guessing profile of a corpus file, or
+  (with ``--base/--train/--stream``) a telemetry profile of the full
+  train-and-score pipeline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -163,10 +166,40 @@ def build_parser() -> argparse.ArgumentParser:
                         help="offline simulation horizon cap")
 
     profile = commands.add_parser(
-        "profile", help="partial-guessing profile of a corpus"
+        "profile",
+        help="partial-guessing profile of a corpus, or (--base/--train/"
+             "--stream) pipeline telemetry",
     )
-    profile.add_argument("corpus", help="corpus file (plain or counted)")
+    profile.add_argument("corpus", nargs="?",
+                         help="corpus file (plain or counted)")
     profile.add_argument("--online-budget", type=int, default=1_000)
+    profile.add_argument(
+        "--base", help="base dictionary corpus (telemetry mode)"
+    )
+    profile.add_argument(
+        "--train", dest="train_corpus",
+        help="training corpus (telemetry mode)",
+    )
+    profile.add_argument(
+        "--stream",
+        help="corpus scored as the measuring workload (telemetry mode)",
+    )
+    profile.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="score the stream N times (exercises the parse cache)",
+    )
+    profile.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the training stage",
+    )
+    profile.add_argument(
+        "--format", dest="output_format",
+        choices=("json", "text"), default="json",
+    )
+    profile.add_argument(
+        "--output", "-o",
+        help="also write the JSON report to this file",
+    )
 
     lint = commands.add_parser(
         "lint", help="run the domain-invariant static analyser"
@@ -394,6 +427,21 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    telemetry_flags = (args.base, args.train_corpus, args.stream)
+    if any(telemetry_flags):
+        if not all(telemetry_flags):
+            print("error: telemetry mode needs all of --base, --train "
+                  "and --stream", file=sys.stderr)
+            return 2
+        if args.corpus:
+            print("error: the corpus positional and --base/--train/"
+                  "--stream are mutually exclusive", file=sys.stderr)
+            return 2
+        return _cmd_profile_pipeline(args)
+    if not args.corpus:
+        print("error: a corpus file (or --base/--train/--stream) "
+              "is required", file=sys.stderr)
+        return 2
     from repro.datasets.zipf import fit_zipf, ideal_meter_coverage
     from repro.metrics.guesswork import guessing_profile
     corpus = load_corpus(args.corpus)
@@ -422,6 +470,50 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         ["quantity", "value"], rows,
         title=f"guessing profile: {corpus.name}",
     ))
+    return 0
+
+
+def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
+    """Train-and-score a workload under telemetry; emit the report."""
+    from repro import obs
+    from repro.obs.report import build_report, render_report
+    from repro.persistence import save_telemetry_report
+    base = load_corpus(args.base)
+    training = load_corpus(args.train_corpus)
+    stream_corpus = load_corpus(args.stream)
+    stream = list(stream_corpus.expand())
+    with obs.session() as telemetry:
+        with telemetry.timer("profile.load.seconds"):
+            base_dictionary = base.unique_passwords()
+            training_items = list(training.items())
+        with telemetry.timer("profile.train.seconds"):
+            meter = FuzzyPSM.train(
+                base_dictionary=base_dictionary,
+                training=training_items,
+                jobs=args.jobs,
+            )
+        with telemetry.timer("profile.score.seconds"):
+            for _ in range(max(1, args.repeat)):
+                meter.probability_many(stream)
+        report = build_report(telemetry.snapshot())
+    report["workload"] = {
+        "base": args.base,
+        "train": args.train_corpus,
+        "stream": args.stream,
+        "stream_passwords": len(stream),
+        "stream_distinct": stream_corpus.unique,
+        "repeat": max(1, args.repeat),
+        "jobs": args.jobs,
+    }
+    if args.output:
+        save_telemetry_report(report, args.output)
+    if args.output_format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for line in render_report(report):
+            print(line)
+        if args.output:
+            print(f"\nreport written to {args.output}")
     return 0
 
 

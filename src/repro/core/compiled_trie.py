@@ -47,6 +47,7 @@ from __future__ import annotations
 from array import array
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import obs
 from repro.core.trie import FuzzyMatch, _Node, _TOGGLE
 
 #: Upper bound on bits reserved for the character ordinal in a packed
@@ -139,6 +140,10 @@ class CompiledTrie:
         }
         self._min_length = min_length
         self._size = size
+        telemetry = obs.get()
+        if telemetry.enabled:
+            telemetry.incr("trie.compiled")
+            telemetry.observe("trie.compiled.nodes", float(len(terminal)))
 
     # --- basic queries ------------------------------------------------
 

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro import obs
 from repro.core.grammar import (
     Derivation,
     DerivedSegment,
@@ -182,6 +183,9 @@ class FuzzyPSM(ProbabilisticMeter):
         guessing, a password the model cannot derive is out of reach of
         the modelled attacker.
         """
+        telemetry = obs.get()
+        if telemetry.enabled:
+            telemetry.incr("meter.probability")
         if not password:
             return 0.0
         parsed = self.parse(password)
@@ -206,21 +210,31 @@ class FuzzyPSM(ProbabilisticMeter):
         """
         if self._config.auto_update:
             return [self.probability(pw) for pw in passwords]
+        telemetry = obs.get()
         grammar = self._grammar
         parse = self._parser.parse_cached
         batch: Dict[str, float] = {}
         out: List[float] = []
-        for password in passwords:
-            probability = batch.get(password)
-            if probability is None:
-                if password:
-                    probability = grammar.derivation_probability(
-                        parse(password).to_derivation()
-                    )
-                else:
-                    probability = 0.0
-                batch[password] = probability
-            out.append(probability)
+        # Probes stay at batch granularity: per-item telemetry in this
+        # loop would eat into the very speedup the batch path exists
+        # for (per-score cost is ~3 us on cache hits).
+        with telemetry.timer("meter.batch.seconds"):
+            for password in passwords:
+                probability = batch.get(password)
+                if probability is None:
+                    if password:
+                        probability = grammar.derivation_probability(
+                            parse(password).to_derivation()
+                        )
+                    else:
+                        probability = 0.0
+                    batch[password] = probability
+                out.append(probability)
+        if telemetry.enabled:
+            telemetry.incr("meter.batch.calls")
+            telemetry.incr("meter.batch.scores", len(out))
+            telemetry.incr("meter.batch.distinct", len(batch))
+            telemetry.observe("meter.batch.size", float(len(out)))
         return out
 
     def entropy_many(self, passwords: Iterable[str]) -> List[float]:

@@ -35,6 +35,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.core.compiled_trie import CompiledTrie
 from repro.core.grammar import Derivation, DerivedSegment
 from repro.core.trie import PrefixTrie
@@ -96,6 +97,76 @@ class ParsedPassword:
 
     def to_derivation(self) -> Derivation:
         return Derivation(tuple(seg.to_derived() for seg in self.segments))
+
+
+def _record_parse(
+    telemetry: obs.Telemetry,
+    parsed: ParsedPassword,
+    cache_miss: bool = False,
+) -> None:
+    """Report one completed parse to the active telemetry backend.
+
+    Runs only when a collecting backend is installed, and only for
+    actual parse work — parse-cache hits are counted separately, under
+    ``parser.cache.hit``; a miss that triggered this parse folds its
+    ``parser.cache.miss`` into the same dispatch via ``cache_miss``.
+    Zero-valued counters are not emitted (report readers default
+    missing probes to 0), and the whole group goes through one
+    ``incr_many`` call.
+
+    The hot path never calls this directly: parses are *deferred* —
+    the parser buffers ``(parsed, cache_miss)`` events on the backend
+    (one list append per parse) and this aggregation runs when a
+    reader drains the buffer.  That deferral is what keeps the
+    enabled-backend overhead of a scoring sweep inside the <5% budget.
+    Probe inventory: DESIGN.md §9.
+    """
+    segments = parsed.segments
+    counts = [("parser.parse", 1)]
+    append = counts.append
+    if cache_miss:
+        append(("parser.cache.miss", 1))
+    if segments:
+        trie_hits = fallbacks = 0
+        capitalized = leet = reversed_words = allcaps = 0
+        for segment in segments:
+            if segment.kind is SegmentKind.DICTIONARY:
+                trie_hits += 1
+            else:
+                fallbacks += 1
+            if segment.capitalized:
+                capitalized += 1
+            leet += len(segment.toggled_offsets)
+            if segment.reversed_word:
+                reversed_words += 1
+            if segment.all_caps:
+                allcaps += 1
+        # One longest-prefix-match attempt per produced segment: the
+        # parse loop consults the matcher exactly once per segment,
+        # falling back to an L/D/S run when the attempt misses.
+        append(("parser.match.attempts", len(segments)))
+        if trie_hits:
+            append(("parser.segment.trie_hit", trie_hits))
+        if fallbacks:
+            append(("parser.segment.fallback", fallbacks))
+        if capitalized:
+            append(("parser.rule.capitalization", capitalized))
+        if leet:
+            append(("parser.rule.leet", leet))
+        if reversed_words:
+            append(("parser.rule.reverse", reversed_words))
+        if allcaps:
+            append(("parser.rule.allcaps", allcaps))
+    telemetry.incr_many(counts)
+    telemetry.observe("parser.segments", float(len(segments)))
+
+
+def _record_parse_event(
+    telemetry: obs.Telemetry, event: Tuple[ParsedPassword, bool]
+) -> None:
+    """Deferred-event handler: unpack and aggregate one parse."""
+    parsed, cache_miss = event
+    _record_parse(telemetry, parsed, cache_miss)
 
 
 class FuzzyParser:
@@ -210,6 +281,14 @@ class FuzzyParser:
 
     def parse(self, password: str) -> ParsedPassword:
         """Parse ``password`` into base segments (never fails)."""
+        parsed = self._parse_segments(password)
+        telemetry = obs.get()
+        if telemetry.enabled:
+            telemetry.defer(_record_parse_event, (parsed, False))
+        return parsed
+
+    def _parse_segments(self, password: str) -> ParsedPassword:
+        """The raw parse loop, free of telemetry probes."""
         segments: List[ParsedSegment] = []
         position = 0
         while position < len(password):
@@ -227,15 +306,22 @@ class FuzzyParser:
         flags, so memoisation is exact; bulk scoring of Zipf-shaped
         password streams hits the cache for the popular head.
         """
+        telemetry = obs.get()
         cache = self._parse_cache
         parsed = cache.get(password)
         if parsed is not None:
             cache.move_to_end(password)
+            if telemetry.enabled:
+                telemetry.incr("parser.cache.hit")
             return parsed
-        parsed = self.parse(password)
+        parsed = self._parse_segments(password)
+        if telemetry.enabled:
+            telemetry.defer(_record_parse_event, (parsed, True))
         cache[password] = parsed
         if len(cache) > self._parse_cache_size:
             cache.popitem(last=False)
+            if telemetry.enabled:
+                telemetry.incr("parser.cache.evict")
         return parsed
 
     def _best_dictionary_segment(self, password: str, position: int

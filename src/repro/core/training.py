@@ -19,12 +19,23 @@ from __future__ import annotations
 import multiprocessing
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro import obs
+from repro.obs.core import now as _now
 from repro.core.grammar import FuzzyGrammar
 from repro.core.parser import FuzzyParser
 from repro.core.trie import PrefixTrie
 
 #: Training entries may carry a multiplicity, e.g. from a frequency file.
 PasswordEntry = Union[str, Tuple[str, int]]
+
+#: Corpora smaller than this train serially even when ``jobs > 1``.
+#: Worker startup re-builds (and re-compiles) the base trie in every
+#: process, a fixed cost of seconds against a ~100 us/password serial
+#: parse rate: BENCH_timing.json records jobs=2 at 7x *slower* than
+#: serial for 5k passwords.  The cutoff sits where the chunked parse
+#: work plausibly amortises that startup; pass ``parallel_threshold``
+#: to :func:`train_grammar` to override it (tests and tuning).
+PARALLEL_MIN_ENTRIES = 100_000
 
 
 def build_base_trie(base_dictionary: Iterable[str],
@@ -87,22 +98,30 @@ def _worker_init(
     _WORKER_PARSER = FuzzyParser(trie, **flags)
 
 
-def _parse_chunk(chunk: List[Tuple[str, int]]) -> FuzzyGrammar:
-    """Parse one chunk of ``(password, count)`` pairs into a grammar."""
+def _parse_chunk(chunk: List[Tuple[str, int]]) -> Tuple[FuzzyGrammar, float]:
+    """Parse one chunk of ``(password, count)`` pairs into a grammar.
+
+    Returns the chunk grammar plus the worker-side parse seconds: the
+    parent's telemetry backend cannot see into pool processes, so each
+    chunk ships its own timing home for the ``train.chunk.seconds``
+    histogram.
+    """
     parser = _WORKER_PARSER
     assert parser is not None, "_worker_init did not run"
+    start = _now()
     grammar = FuzzyGrammar()
     for password, count in chunk:
         parsed = parser.parse(password)
         grammar.observe(parsed.to_derivation(), count)
-    return grammar
+    return grammar, _now() - start
 
 
 def train_grammar(training_passwords: Iterable[PasswordEntry],
                   trie: PrefixTrie,
                   parser: Optional[FuzzyParser] = None,
                   skip_empty: bool = True,
-                  jobs: Optional[int] = None) -> FuzzyGrammar:
+                  jobs: Optional[int] = None,
+                  parallel_threshold: Optional[int] = None) -> FuzzyGrammar:
     """Learn a :class:`FuzzyGrammar` from the training dictionary.
 
     Args:
@@ -115,6 +134,11 @@ def train_grammar(training_passwords: Iterable[PasswordEntry],
             train serially; ``N > 1`` chunks the corpus across ``N``
             processes and merges the per-chunk count tables, which is
             exact (counting commutes — see :meth:`FuzzyGrammar.merge`).
+            Small corpora fall back to the serial path automatically:
+            below ``parallel_threshold`` entries the pool's fixed
+            startup cost exceeds the entire serial parse time.
+        parallel_threshold: corpus-size cutoff for that fallback
+            (default :data:`PARALLEL_MIN_ENTRIES`).
 
     Returns:
         the trained grammar; training is pure counting, so the same
@@ -126,25 +150,9 @@ def train_grammar(training_passwords: Iterable[PasswordEntry],
     if parser is None:
         parser = FuzzyParser(trie)
     if not jobs or jobs == 1:
-        grammar = FuzzyGrammar()
-        for password, count in _iter_entries(training_passwords):
-            if not password:
-                if skip_empty:
-                    continue
-                raise ValueError("cannot train on an empty password")
-            parsed = parser.parse(password)
-            grammar.observe(parsed.to_derivation(), count)
-        return grammar
-    return _train_grammar_parallel(
-        training_passwords, parser, skip_empty, jobs
-    )
-
-
-def _train_grammar_parallel(training_passwords: Iterable[PasswordEntry],
-                            parser: FuzzyParser,
-                            skip_empty: bool,
-                            jobs: int) -> FuzzyGrammar:
-    """Chunk the corpus over a process pool and merge the counts."""
+        return _train_grammar_serial(
+            _iter_entries(training_passwords), parser, skip_empty
+        )
     entries: List[Tuple[str, int]] = []
     for password, count in _iter_entries(training_passwords):
         if not password:
@@ -152,8 +160,50 @@ def _train_grammar_parallel(training_passwords: Iterable[PasswordEntry],
                 continue
             raise ValueError("cannot train on an empty password")
         entries.append((password, count))
+    threshold = (
+        PARALLEL_MIN_ENTRIES if parallel_threshold is None
+        else parallel_threshold
+    )
+    if len(entries) < threshold:
+        telemetry = obs.get()
+        if telemetry.enabled:
+            telemetry.incr("train.fallback.serial")
+        return _train_grammar_serial(iter(entries), parser,
+                                     skip_empty=False)
+    return _train_grammar_parallel(entries, parser, jobs)
+
+
+def _train_grammar_serial(entries: Iterator[Tuple[str, int]],
+                          parser: FuzzyParser,
+                          skip_empty: bool) -> FuzzyGrammar:
+    """One in-process pass over normalised ``(password, count)`` pairs."""
+    telemetry = obs.get()
+    grammar = FuzzyGrammar()
+    trained = 0
+    with telemetry.timer("train.serial.seconds"):
+        for password, count in entries:
+            if not password:
+                if skip_empty:
+                    continue
+                raise ValueError("cannot train on an empty password")
+            parsed = parser.parse(password)
+            grammar.observe(parsed.to_derivation(), count)
+            trained += 1
+    if telemetry.enabled:
+        telemetry.incr("train.passwords", trained)
+    return grammar
+
+
+def _train_grammar_parallel(entries: List[Tuple[str, int]],
+                            parser: FuzzyParser,
+                            jobs: int) -> FuzzyGrammar:
+    """Chunk the corpus over a process pool and merge the counts."""
     if not entries:
         return FuzzyGrammar()
+    telemetry = obs.get()
+    if telemetry.enabled:
+        telemetry.incr("train.parallel")
+        telemetry.incr("train.passwords", len(entries))
     # A few chunks per worker smooths over uneven parse costs without
     # inflating per-chunk pickling overhead.
     chunk_count = min(jobs * 4, len(entries))
@@ -161,16 +211,24 @@ def _train_grammar_parallel(training_passwords: Iterable[PasswordEntry],
     chunks = [entries[i:i + step] for i in range(0, len(entries), step)]
     trie = parser.trie
     words = list(trie.iter_words())
-    with multiprocessing.Pool(
-        processes=jobs,
-        initializer=_worker_init,
-        initargs=(words, trie.min_length, parser.flags),
-    ) as pool:
-        grammar = FuzzyGrammar()
-        # Ordered merge: chunks preserve stream order, so merging them
-        # in sequence reproduces the serial grammar's key insertion
-        # order too — serialized models are byte-identical, not just
-        # dict-equal.
-        for chunk_grammar in pool.imap(_parse_chunk, chunks):
-            grammar.merge(chunk_grammar)
+    with telemetry.timer("train.parallel.seconds"):
+        with multiprocessing.Pool(
+            processes=jobs,
+            initializer=_worker_init,
+            initargs=(words, trie.min_length, parser.flags),
+        ) as pool:
+            grammar = FuzzyGrammar()
+            # Ordered merge: chunks preserve stream order, so merging
+            # them in sequence reproduces the serial grammar's key
+            # insertion order too — serialized models are
+            # byte-identical, not just dict-equal.
+            for chunk_grammar, chunk_seconds in pool.imap(
+                _parse_chunk, chunks
+            ):
+                if telemetry.enabled:
+                    telemetry.observe(
+                        "train.chunk.seconds", chunk_seconds
+                    )
+                with telemetry.timer("train.merge.seconds"):
+                    grammar.merge(chunk_grammar)
     return grammar

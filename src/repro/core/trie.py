@@ -161,10 +161,16 @@ class PrefixTrie:
         arrays (no per-node Python objects) and is what the parser's
         hot path uses.  It is a snapshot: words inserted afterwards do
         not appear in it.
+
+        Compilation cost lands in the ``trie.compile.seconds``
+        telemetry histogram (one observation per snapshot), so a
+        profile can separate matcher build time from parse time.
         """
+        from repro import obs
         from repro.core.compiled_trie import CompiledTrie
 
-        return CompiledTrie(self._root, self._min_length, self._size)
+        with obs.get().timer("trie.compile.seconds"):
+            return CompiledTrie(self._root, self._min_length, self._size)
 
     # --- exact prefix matching ---------------------------------------
 

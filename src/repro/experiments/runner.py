@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
+from repro.obs.report import build_report
 from repro.core.meter import FuzzyPSM, FuzzyPSMConfig
 from repro.datasets.corpus import PasswordCorpus
 from repro.datasets.synthetic import SyntheticEcosystem
@@ -52,6 +54,9 @@ class ExperimentConfig:
     meters: Tuple[str, ...] = (
         "fuzzyPSM", "PCFG", "Markov", "Zxcvbn", "KeePSM", "NIST",
     )
+    #: Collect pipeline telemetry for the run (scoped session; the
+    #: snapshot report lands on :attr:`ExperimentResult.telemetry`).
+    telemetry: bool = True
 
 
 @dataclass(frozen=True)
@@ -78,6 +83,9 @@ class ExperimentResult:
     curves: Tuple[MeterCurve, ...]
     test_unique: int
     metric_name: str
+    #: Telemetry report for the run (:func:`repro.obs.build_report`),
+    #: or None when :attr:`ExperimentConfig.telemetry` is off.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def curve(self, meter: str) -> MeterCurve:
         for curve in self.curves:
@@ -109,35 +117,47 @@ def build_meters(base_corpus: PasswordCorpus,
     # with stock dictionaries and are NOT retrained per service (that
     # inability to adapt is one of the paper's points).  Only the
     # machine-learning meters see the training corpus.
+    telemetry = obs.get()
     meters: List[Meter] = []
     for name in config.meters:
-        if name == "fuzzyPSM":
-            meters.append(
-                FuzzyPSM.train(
-                    base_dictionary=base_corpus.unique_passwords(),
-                    training=training_items,
-                    jobs=config.jobs,
-                )
-            )
-        elif name == "PCFG":
-            meters.append(PCFGMeter.train(training_items))
-        elif name == "Markov":
-            meters.append(
-                MarkovMeter.train(
-                    training_items,
-                    order=config.markov_order,
-                    smoothing=config.markov_smoothing,
-                )
-            )
-        elif name == "Zxcvbn":
-            meters.append(ZxcvbnMeter())
-        elif name == "KeePSM":
-            meters.append(KeePSMMeter(COMMON_PASSWORDS))
-        elif name == "NIST":
-            meters.append(NISTMeter(dictionary=COMMON_PASSWORDS))
-        else:
-            raise ValueError(f"unknown meter {name!r}")
+        # One observation per trained meter: the histogram's spread is
+        # the per-meter training cost mix of the scenario.
+        with telemetry.timer("experiment.train.seconds"):
+            _build_one_meter(meters, name, base_corpus, training_items,
+                             config)
     return meters
+
+
+def _build_one_meter(meters: List[Meter], name: str,
+                     base_corpus: PasswordCorpus,
+                     training_items: List[Tuple[str, int]],
+                     config: ExperimentConfig) -> None:
+    if name == "fuzzyPSM":
+        meters.append(
+            FuzzyPSM.train(
+                base_dictionary=base_corpus.unique_passwords(),
+                training=training_items,
+                jobs=config.jobs,
+            )
+        )
+    elif name == "PCFG":
+        meters.append(PCFGMeter.train(training_items))
+    elif name == "Markov":
+        meters.append(
+            MarkovMeter.train(
+                training_items,
+                order=config.markov_order,
+                smoothing=config.markov_smoothing,
+            )
+        )
+    elif name == "Zxcvbn":
+        meters.append(ZxcvbnMeter())
+    elif name == "KeePSM":
+        meters.append(KeePSMMeter(COMMON_PASSWORDS))
+    elif name == "NIST":
+        meters.append(NISTMeter(dictionary=COMMON_PASSWORDS))
+    else:
+        raise ValueError(f"unknown meter {name!r}")
 
 
 def evaluate_meters(meters: Sequence[Meter], test_corpus: PasswordCorpus,
@@ -166,10 +186,12 @@ def evaluate_meters(meters: Sequence[Meter], test_corpus: PasswordCorpus,
     # Batched scoring: meters with a vectorised fast path (fuzzyPSM's
     # probability_many) serve the whole list through their parse cache;
     # the base-class fallback is the same per-call loop as before.
+    telemetry = obs.get()
     ideal_scores = ideal.probabilities(passwords)
     curves = []
     for meter in meters:
-        meter_scores = meter.probabilities(passwords)
+        with telemetry.timer("experiment.score.seconds"):
+            meter_scores = meter.probabilities(passwords)
         points = correlation_curve(
             ideal_scores, meter_scores, ks=ks, metric=metric
         )
@@ -219,17 +241,47 @@ def run_scenario(scenario: Scenario,
     """
     config = config or ExperimentConfig()
     ecosystem = ecosystem or SyntheticEcosystem(seed=config.seed)
-    base, training, testing = prepare_scenario_data(
-        scenario, ecosystem, config
-    )
+    if not config.telemetry:
+        return _run_scenario_stages(
+            scenario, ecosystem, config, ks, metric, metric_name,
+            min_frequency, telemetry_report=None,
+        )
+    # A scoped session, so each scenario's snapshot is its own run and
+    # never mixes with process-wide or sibling-scenario telemetry.
+    with obs.session() as telemetry:
+        return _run_scenario_stages(
+            scenario, ecosystem, config, ks, metric, metric_name,
+            min_frequency, telemetry_report=lambda: build_report(
+                telemetry.snapshot()
+            ),
+        )
+
+
+def _run_scenario_stages(
+    scenario: Scenario,
+    ecosystem: SyntheticEcosystem,
+    config: ExperimentConfig,
+    ks: Optional[Sequence[int]],
+    metric: Callable,
+    metric_name: str,
+    min_frequency: int,
+    telemetry_report: Optional[Callable[[], Dict[str, Any]]],
+) -> ExperimentResult:
+    telemetry = obs.get()
+    with telemetry.timer("experiment.data.seconds"):
+        base, training, testing = prepare_scenario_data(
+            scenario, ecosystem, config
+        )
     meters = build_meters(base, training, config)
-    curves, test_unique = evaluate_meters(
-        meters, testing, ks=ks, metric=metric, metric_name=metric_name,
-        min_frequency=min_frequency,
-    )
+    with telemetry.timer("experiment.evaluate.seconds"):
+        curves, test_unique = evaluate_meters(
+            meters, testing, ks=ks, metric=metric,
+            metric_name=metric_name, min_frequency=min_frequency,
+        )
     return ExperimentResult(
         scenario=scenario,
         curves=curves,
         test_unique=test_unique,
         metric_name=metric_name,
+        telemetry=telemetry_report() if telemetry_report else None,
     )

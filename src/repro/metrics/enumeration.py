@@ -36,6 +36,8 @@ from typing import (
     Union,
 )
 
+from repro import obs
+
 T = TypeVar("T")
 
 #: A factor is a probability-sorted (descending) list of (value, prob).
@@ -135,7 +137,12 @@ def descending_products(
         (-probability_of(start), start)
     ]
     seen = {start}
+    # The backend is pinned at generator start: enumeration sweeps run
+    # entirely inside one telemetry session (or none at all).
+    telemetry = obs.get()
     while heap:
+        if telemetry.enabled:
+            telemetry.incr("enum.products.pops")
         negative_probability, indices = heapq.heappop(heap)
         popped = [
             _factor_item(factor, index)
@@ -186,8 +193,11 @@ def merge_weighted_descending(
         heapq.heappush(
             heap, (-weight * probability, next(counter), item, stream, weight)
         )
+    telemetry = obs.get()
     while heap:
         negative_probability, _, item, stream, weight = heapq.heappop(heap)
+        if telemetry.enabled:
+            telemetry.incr("enum.merge.yields")
         yield item, -negative_probability
         following = next(stream, None)
         if following is not None:

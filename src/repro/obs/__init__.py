@@ -1,0 +1,105 @@
+"""Observability for the scoring pipeline (DESIGN.md §9).
+
+The package keeps one process-wide backend that every probe in the
+hot path reports to:
+
+* :class:`~repro.obs.core.NoopTelemetry` — the default; probes cost
+  one attribute check (guarded) or one empty method call (unguarded);
+* :class:`~repro.obs.core.Telemetry` — the collecting backend, with
+  counters, fixed log-spaced histograms and span timers.
+
+Selection is by config, not code edits::
+
+    from repro import obs
+
+    with obs.session() as tel:            # scoped collection
+        meter.probability_many(stream)
+    report = tel.snapshot()
+
+    obs.enable()                          # process-wide, until disable()
+    obs.disable()
+
+Setting the environment variable ``REPRO_TELEMETRY`` to ``1``/``true``
+/``yes``/``on`` enables a collecting backend at import time, so any
+entry point (CLI, pytest, scripts) can be profiled without a code
+change.  ``repro profile`` and the experiments runner install scoped
+sessions themselves.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.core import (
+    Clock,
+    Histogram,
+    NoopTelemetry,
+    Span,
+    Telemetry,
+    log_spaced_bounds,
+    now,
+)
+from repro.obs.report import build_report, render_report
+
+__all__ = [
+    "Clock",
+    "Histogram",
+    "NoopTelemetry",
+    "Span",
+    "Telemetry",
+    "build_report",
+    "disable",
+    "enable",
+    "get",
+    "log_spaced_bounds",
+    "now",
+    "render_report",
+    "session",
+]
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def _backend_from_environment() -> Telemetry:
+    value = os.environ.get("REPRO_TELEMETRY", "").strip().lower()
+    return Telemetry() if value in _TRUTHY else NoopTelemetry()
+
+
+_ACTIVE: Telemetry = _backend_from_environment()
+
+
+def get() -> Telemetry:
+    """The active backend (fetch once per function, not per item)."""
+    return _ACTIVE
+
+
+def enable(telemetry: Optional[Telemetry] = None) -> Telemetry:
+    """Install a collecting backend process-wide and return it."""
+    global _ACTIVE
+    _ACTIVE = telemetry if telemetry is not None else Telemetry()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Restore the zero-overhead no-op backend."""
+    global _ACTIVE
+    _ACTIVE = NoopTelemetry()
+
+
+@contextmanager
+def session(clock: Clock = now) -> Iterator[Telemetry]:
+    """A scoped collecting backend; the previous one is restored.
+
+    Sessions nest: an inner session shadows (and does not leak into)
+    an outer one, which keeps ``repro profile`` runs and experiment
+    telemetry snapshots independent of process-wide state.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = Telemetry(clock=clock)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,105 @@
+"""Turning raw telemetry snapshots into profile reports.
+
+A snapshot (:meth:`repro.obs.core.Telemetry.snapshot`) is the raw
+counter/histogram state.  A *report* adds the derived quantities an
+operator actually asks about — parse-outcome mix, rule-hit shares,
+cache hit rate — and is what ``repro profile`` emits and the
+experiments runner attaches to its results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: Bump when the report layout changes; persisted snapshots carry it.
+REPORT_VERSION = 1
+
+
+def _rate(hits: int, misses: int) -> Optional[float]:
+    total = hits + misses
+    return hits / total if total else None
+
+
+def _share(part: int, whole: int) -> Optional[float]:
+    return part / whole if whole else None
+
+
+def build_report(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Derive the headline quantities from a telemetry snapshot.
+
+    The returned document is JSON-ready and self-contained: it embeds
+    the snapshot it was derived from under ``"telemetry"``.
+    """
+    counters: Dict[str, int] = snapshot.get("counters", {})
+    trie_hits = counters.get("parser.segment.trie_hit", 0)
+    fallbacks = counters.get("parser.segment.fallback", 0)
+    segments = trie_hits + fallbacks
+    parses = counters.get("parser.parse", 0)
+    cache_hits = counters.get("parser.cache.hit", 0)
+    cache_misses = counters.get("parser.cache.miss", 0)
+    return {
+        "report_version": REPORT_VERSION,
+        "parse_outcomes": {
+            "parses": parses,
+            "segments": segments,
+            "trie_hit": trie_hits,
+            "fallback": fallbacks,
+            "trie_hit_share": _share(trie_hits, segments),
+            "rule_hits": {
+                "capitalization": counters.get(
+                    "parser.rule.capitalization", 0
+                ),
+                "leet": counters.get("parser.rule.leet", 0),
+                "reverse": counters.get("parser.rule.reverse", 0),
+                "allcaps": counters.get("parser.rule.allcaps", 0),
+            },
+        },
+        "parse_cache": {
+            "hits": cache_hits,
+            "misses": cache_misses,
+            "evictions": counters.get("parser.cache.evict", 0),
+            "hit_rate": _rate(cache_hits, cache_misses),
+        },
+        "stages": {
+            name: histogram
+            for name, histogram in snapshot.get("histograms", {}).items()
+            if name.endswith(".seconds")
+        },
+        "telemetry": snapshot,
+    }
+
+
+def _format_optional_rate(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value * 100.0:.1f}%"
+
+
+def render_report(report: Dict[str, Any]) -> List[str]:
+    """Human-readable lines for a report (the ``--format text`` view)."""
+    outcomes = report["parse_outcomes"]
+    cache = report["parse_cache"]
+    lines = [
+        f"parses          : {outcomes['parses']:,}",
+        f"segments        : {outcomes['segments']:,} "
+        f"(trie-hit {outcomes['trie_hit']:,}, "
+        f"fallback {outcomes['fallback']:,}, "
+        f"trie-hit share "
+        f"{_format_optional_rate(outcomes['trie_hit_share'])})",
+    ]
+    for rule, hits in outcomes["rule_hits"].items():
+        lines.append(f"rule {rule:<14}: {hits:,}")
+    lines.append(
+        f"parse cache     : {cache['hits']:,} hits / "
+        f"{cache['misses']:,} misses "
+        f"(hit rate {_format_optional_rate(cache['hit_rate'])}, "
+        f"{cache['evictions']:,} evictions)"
+    )
+    for stage, histogram in report["stages"].items():
+        lines.append(
+            f"stage {stage:<24}: {histogram['count']:,} x, "
+            f"total {histogram['sum']:.3f} s, "
+            f"mean {histogram['mean'] * 1e3:.2f} ms"
+        )
+    counters: Dict[str, int] = report["telemetry"].get("counters", {})
+    for name, value in counters.items():
+        lines.append(f"counter {name:<28}: {value:,}")
+    return lines

@@ -76,6 +76,50 @@ def save_meter(meter: TrainedMeter, path: str) -> None:
         json.dump(meter_to_dict(meter), handle)
 
 
+# --- telemetry snapshots ----------------------------------------------------
+
+#: On-disk format version for telemetry reports (``repro profile`` and
+#: the experiments runner persist these next to their results).
+TELEMETRY_FORMAT_VERSION = 1
+
+
+def save_telemetry_report(report: dict, path: str) -> None:
+    """Write a telemetry report (:func:`repro.obs.build_report`) to JSON.
+
+    The document is wrapped with a ``kind`` tag and a format version —
+    the same envelope discipline as trained-meter files — so tooling
+    that ingests both can dispatch on ``kind``.
+    """
+    document = {
+        "format_version": TELEMETRY_FORMAT_VERSION,
+        "kind": "telemetry",
+        "report": report,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_telemetry_report(path: str) -> dict:
+    """Read back a report written by :func:`save_telemetry_report`."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    version = document.get("format_version")
+    if version != TELEMETRY_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported telemetry format version {version!r} "
+            f"(this build reads version {TELEMETRY_FORMAT_VERSION})"
+        )
+    if document.get("kind") != "telemetry":
+        raise ValueError(
+            f"not a telemetry report: kind={document.get('kind')!r}"
+        )
+    report = document["report"]
+    if not isinstance(report, dict):
+        raise ValueError("telemetry report body must be an object")
+    return report
+
+
 def load_meter(path: str) -> TrainedMeter:
     """Read a trained meter back; the concrete class is restored."""
     with open(path, encoding="utf-8") as handle:

@@ -46,10 +46,11 @@ def lines_of(source, select=None):
 
 
 class TestRegistry:
-    def test_all_eight_domain_rules_registered(self):
+    def test_all_nine_domain_rules_registered(self):
         assert list(all_rules()) == [
             "FPM001", "FPM002", "FPM003", "FPM004",
             "FPM005", "FPM006", "FPM007", "FPM008",
+            "FPM009",
         ]
 
     def test_descriptions_cover_every_rule(self):
@@ -327,6 +328,73 @@ class TestMissingAnnotations:
                           limit: Optional[int] = None) -> float:
                     return 0.0
         """) == []
+
+
+class TestDirectClock:
+    def test_flags_time_time_and_perf_counter(self):
+        ids = [rid for rid, _ in lines_of("""
+            import time
+            def f():
+                start = time.perf_counter()
+                return time.time() - start
+        """, select=["FPM009"])]
+        assert ids.count("FPM009") == 2
+
+    def test_flags_aliased_module_and_ns_variants(self):
+        assert "FPM009" in rule_ids_of("""
+            import time as t
+            def f():
+                return t.monotonic_ns()
+        """, select=["FPM009"])
+
+    def test_flags_from_import_with_alias(self):
+        assert "FPM009" in rule_ids_of("""
+            from time import perf_counter as clock
+            def f():
+                return clock()
+        """, select=["FPM009"])
+
+    def test_blessed_obs_clock_is_allowed(self):
+        assert rule_ids_of("""
+            from repro.obs.core import now
+            def f():
+                return now()
+        """, select=["FPM009"]) == []
+
+    def test_non_clock_time_functions_are_allowed(self):
+        assert rule_ids_of("""
+            import time
+            def f():
+                time.sleep(0.1)
+                return time.strftime("%Y")
+        """, select=["FPM009"]) == []
+
+    def test_unrelated_names_are_not_confused(self):
+        # A local object that happens to be called ``time`` must not
+        # trip the module-attribute pattern.
+        assert rule_ids_of("""
+            def f(time):
+                return time.perf_counter()
+        """, select=["FPM009"]) == []
+
+    def test_obs_paths_are_exempt(self):
+        snippet = textwrap.dedent("""
+            import time
+            def f():
+                return time.perf_counter()
+        """)
+        exempt = check_source(
+            snippet, path="src/repro/obs/core.py", select=["FPM009"]
+        )
+        assert exempt == []
+        bench = check_source(
+            snippet, path="benchmarks/test_timing.py", select=["FPM009"]
+        )
+        assert bench == []
+        flagged = check_source(
+            snippet, path="src/repro/core/meter.py", select=["FPM009"]
+        )
+        assert [v.rule_id for v in flagged] == ["FPM009"]
 
 
 class TestSuppressions:

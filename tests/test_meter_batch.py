@@ -93,6 +93,16 @@ class TestProbabilityMany:
 
 
 class TestParallelTraining:
+    @pytest.fixture(autouse=True)
+    def _force_pool(self, monkeypatch):
+        # The small-corpus fallback would route every fixture-sized
+        # corpus here through the serial path (see
+        # tests/test_training_fallback.py for that behaviour); drop the
+        # cutoff so the pool machinery itself stays under test.
+        monkeypatch.setattr(
+            "repro.core.training.PARALLEL_MIN_ENTRIES", 0
+        )
+
     def test_jobs2_equals_serial(self, rng):
         trie = build_base_trie(BASE_DICTIONARY)
         training = TRAINING_PASSWORDS * 20 + [

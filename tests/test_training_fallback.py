@@ -1,0 +1,131 @@
+"""The small-corpus serial fallback of ``train_grammar(..., jobs=N)``.
+
+Regression guard for a measured footgun: worker startup rebuilds (and
+recompiles) the base trie in every pool process, so for small corpora
+``jobs=2`` was ~7x *slower* than serial (BENCH_timing.json,
+``training_serial_vs_jobs2`` at 5k passwords).  Below
+``PARALLEL_MIN_ENTRIES`` the trainer must therefore choose the serial
+path on its own, without the caller having to know the tradeoff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core import training
+from repro.core.grammar import FuzzyGrammar
+from repro.core.meter import FuzzyPSM
+from repro.core.training import (
+    PARALLEL_MIN_ENTRIES,
+    build_base_trie,
+    train_grammar,
+)
+
+from tests.conftest import BASE_DICTIONARY, TRAINING_PASSWORDS
+
+
+@pytest.fixture()
+def trie():
+    return build_base_trie(BASE_DICTIONARY)
+
+
+@pytest.fixture()
+def pool_spy(monkeypatch):
+    """Count ``_train_grammar_parallel`` invocations, still delegating."""
+    calls = []
+    original = training._train_grammar_parallel
+
+    def spy(entries, parser, jobs):
+        calls.append(len(entries))
+        return original(entries, parser, jobs)
+
+    monkeypatch.setattr(training, "_train_grammar_parallel", spy)
+    return calls
+
+
+class TestFallbackChosen:
+    def test_small_corpus_trains_serially(self, trie, pool_spy):
+        train_grammar(TRAINING_PASSWORDS, trie, jobs=2)
+        assert pool_spy == []
+
+    def test_small_corpus_never_starts_a_pool(self, trie, monkeypatch):
+        def boom(*_args, **_kwargs):
+            raise AssertionError("pool started for a small corpus")
+
+        monkeypatch.setattr(training, "_train_grammar_parallel", boom)
+        train_grammar(TRAINING_PASSWORDS, trie, jobs=2)
+
+    def test_fallback_is_observable(self, trie):
+        with obs.session() as telemetry:
+            train_grammar(TRAINING_PASSWORDS, trie, jobs=2)
+            counters = telemetry.snapshot()["counters"]
+        assert counters["train.fallback.serial"] == 1
+        assert "train.parallel" not in counters
+
+    def test_meter_train_inherits_the_fallback(self, pool_spy):
+        with obs.session() as telemetry:
+            FuzzyPSM.train(BASE_DICTIONARY, TRAINING_PASSWORDS, jobs=2)
+            counters = telemetry.snapshot()["counters"]
+        assert pool_spy == []
+        assert counters["train.fallback.serial"] == 1
+
+
+class TestFallbackResult:
+    def test_fallback_grammar_equals_serial(self, trie):
+        entries = TRAINING_PASSWORDS + [("password1", 7), ("Dragon!", 3)]
+        assert (
+            train_grammar(entries, trie, jobs=2)
+            == train_grammar(entries, trie)
+        )
+
+    def test_fallback_still_skips_empty_passwords(self, trie):
+        entries = ["", "password1", ""]
+        assert (
+            train_grammar(entries, trie, jobs=2)
+            == train_grammar(entries, trie)
+        )
+
+    def test_fallback_still_raises_without_skip_empty(self, trie):
+        with pytest.raises(ValueError, match="empty"):
+            train_grammar(["password1", ""], trie, jobs=2,
+                          skip_empty=False)
+
+
+class TestThreshold:
+    def test_pool_runs_at_or_above_threshold(self, trie, pool_spy):
+        train_grammar(TRAINING_PASSWORDS, trie, jobs=2,
+                      parallel_threshold=len(TRAINING_PASSWORDS))
+        assert pool_spy == [len(TRAINING_PASSWORDS)]
+
+    def test_override_forces_fallback(self, trie, pool_spy):
+        train_grammar(TRAINING_PASSWORDS, trie, jobs=2,
+                      parallel_threshold=len(TRAINING_PASSWORDS) + 1)
+        assert pool_spy == []
+
+    def test_module_cutoff_is_patchable(self, trie, pool_spy, monkeypatch):
+        # The default is read at call time, so test suites (and tuning
+        # forks) can lower it without threading a parameter through.
+        monkeypatch.setattr(training, "PARALLEL_MIN_ENTRIES", 1)
+        train_grammar(TRAINING_PASSWORDS, trie, jobs=2)
+        assert pool_spy == [len(TRAINING_PASSWORDS)]
+
+    def test_default_cutoff_clears_the_measured_regression(self):
+        # BENCH_timing.json measured jobs=2 at ~7x slower than serial
+        # for a 5k corpus; the shipped cutoff must sit well above that.
+        assert PARALLEL_MIN_ENTRIES >= 20_000
+
+    def test_threshold_ignored_on_serial_paths(self, trie, pool_spy):
+        expected = train_grammar(TRAINING_PASSWORDS, trie)
+        actual = train_grammar(TRAINING_PASSWORDS, trie, jobs=1,
+                               parallel_threshold=0)
+        assert actual == expected
+        assert pool_spy == []
+
+    def test_empty_corpus_with_zero_threshold(self, trie):
+        # len([]) < 0 is False, so a zero threshold reaches the pool
+        # helper, which must short-circuit before spawning workers.
+        assert (
+            train_grammar([], trie, jobs=2, parallel_threshold=0)
+            == FuzzyGrammar()
+        )

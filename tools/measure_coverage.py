@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Dependency-free statement coverage for ``src/repro``.
+
+CI runs the real ``coverage`` package (see ``[tool.coverage.*]`` in
+pyproject.toml); this tool exists for containers where it is not
+installed — it measures with :func:`sys.settrace` and an AST-derived
+statement denominator, which is how the CI ratchet's ``fail_under``
+baseline was originally set.
+
+The number reported here is a *conservative underestimate* of what
+coverage.py reports:
+
+* the denominator counts every statement line the AST contains, with
+  no ``pragma: no cover`` exclusions;
+* lines executed only inside ``multiprocessing`` workers are invisible
+  to the parent's trace function and count as uncovered.
+
+Usage::
+
+    PYTHONPATH=src python tools/measure_coverage.py [--fail-under PCT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import sys
+import threading
+from collections import defaultdict
+from typing import Dict, Set
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+_PREFIX = SRC_ROOT + os.sep
+
+_executed: "defaultdict[str, Set[int]]" = defaultdict(set)
+
+
+def _tracer(frame, event, arg):
+    filename = frame.f_code.co_filename
+    if not filename.startswith(_PREFIX):
+        return None
+    if event == "line":
+        _executed[filename].add(frame.f_lineno)
+    return _tracer
+
+
+def _is_docstring(statement: ast.stmt) -> bool:
+    return (
+        isinstance(statement, ast.Expr)
+        and isinstance(statement.value, ast.Constant)
+        and isinstance(statement.value.value, str)
+    )
+
+
+def statement_lines(path: str) -> Set[int]:
+    """Line numbers of every executable statement in a module.
+
+    Docstrings are skipped (they generate no line events on modern
+    CPython); everything else counts, pragma comments included.
+    """
+    with open(path, encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    lines: Set[int] = set()
+    # ast.walk gives no parent links, so docstring statements are
+    # collected in a first pass and excluded in the second.
+    docstrings = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node,
+            (ast.Module, ast.ClassDef, ast.FunctionDef,
+             ast.AsyncFunctionDef),
+        ):
+            body = node.body
+            if body and _is_docstring(body[0]):
+                docstrings.add(id(body[0]))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt) and id(node) not in docstrings:
+            lines.add(node.lineno)
+    return lines
+
+
+def run_suite() -> int:
+    """Run the tier-1 suite under the statement tracer."""
+    import pytest
+
+    threading.settrace(_tracer)
+    sys.settrace(_tracer)
+    try:
+        return pytest.main(
+            ["-q", "-p", "no:cacheprovider", "--no-header",
+             os.path.join(REPO_ROOT, "tests")]
+        )
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+
+
+def collect_report() -> Dict[str, Dict[str, int]]:
+    report: Dict[str, Dict[str, int]] = {}
+    for dirpath, _dirnames, filenames in os.walk(SRC_ROOT):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            statements = statement_lines(path)
+            covered = len(statements & _executed.get(path, set()))
+            module = os.path.relpath(path, REPO_ROOT)
+            report[module] = {
+                "statements": len(statements),
+                "covered": covered,
+            }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fail-under", type=float, default=None, metavar="PCT",
+        help="exit non-zero when total coverage is below PCT",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the per-module report as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    exit_code = run_suite()
+    if exit_code != 0:
+        print(f"test suite failed (exit {exit_code}); "
+              "coverage not meaningful", file=sys.stderr)
+        return exit_code
+
+    report = collect_report()
+    total_statements = sum(m["statements"] for m in report.values())
+    total_covered = sum(m["covered"] for m in report.values())
+    percent = (
+        100.0 * total_covered / total_statements if total_statements else 0.0
+    )
+
+    if args.json:
+        print(json.dumps(
+            {"modules": report,
+             "total": {"statements": total_statements,
+                       "covered": total_covered,
+                       "percent": round(percent, 2)}},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        width = max(len(module) for module in report)
+        for module, counts in sorted(report.items()):
+            statements, covered = counts["statements"], counts["covered"]
+            share = 100.0 * covered / statements if statements else 100.0
+            print(f"{module:<{width}}  {covered:>5}/{statements:<5} "
+                  f"{share:6.1f}%")
+        print(f"{'TOTAL':<{width}}  {total_covered:>5}/"
+              f"{total_statements:<5} {percent:6.1f}%")
+
+    if args.fail_under is not None and percent < args.fail_under:
+        print(f"coverage {percent:.1f}% is below the ratchet "
+              f"{args.fail_under:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
