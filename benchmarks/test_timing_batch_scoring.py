@@ -1,0 +1,88 @@
+"""Batch vs per-call scoring across the whole meter suite.
+
+The registry refactor promoted ``probability_many`` into the ``Meter``
+base class (a plain per-password loop) and let PCFG and Markov ship
+vectorised overrides (per-batch memo over distinct passwords, plus a
+transition cache for Markov).  This bench sweeps every registered
+shootout meter over the same Zipf-shaped evaluation stream and times
+
+* the forced base-class loop (``Meter.probability_many(meter, ...)``),
+* the meter's own ``probability_many``,
+
+asserting first that both paths return bit-identical scores (the
+override contract), then that the PCFG/Markov overrides actually beat
+the loop, while the rule-based meters — which inherit the base loop
+unchanged — stay within noise of it.
+
+The batch path runs *first* for each meter: fuzzyPSM's parse cache
+persists on the instance, so this ordering hands the warm cache to the
+loop side and keeps its recorded speedup conservative (the fair
+fresh-instance comparison lives in ``test_timing_measure``).
+"""
+
+import time
+
+from repro.meters import registry
+from repro.meters.base import Meter
+from repro.meters.registry import TrainContext
+from repro.meters.zxcvbn.frequency_lists import COMMON_PASSWORDS
+
+from bench_lib import emit, record
+
+#: The Fig. 13 contenders; dict value marks the meters whose override
+#: must beat the base loop (the others inherit it unchanged).
+_SWEEP = {
+    "fuzzypsm": False,  # asserted separately in test_timing_measure
+    "pcfg": True,
+    "markov": True,
+    "zxcvbn": False,
+    "keepsm": False,
+    "nist": False,
+}
+
+
+def test_timing_batch_vs_loop_scoring(corpora, csdn_quarters, capsys):
+    train, test = csdn_quarters
+    context = TrainContext(
+        training=tuple(train.items()),
+        base_dictionary=tuple(corpora["tianya"].unique_passwords()),
+        dictionary=COMMON_PASSWORDS,
+    )
+    stream = list(test.expand()) * 3
+    distinct = test.unique
+
+    lines = []
+    measurements = {"stream": len(stream), "distinct": distinct}
+    for kind, must_win in _SWEEP.items():
+        meter = registry.build_meter(kind, context)
+
+        start = time.perf_counter()
+        batch = meter.probability_many(stream)
+        batch_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        loop = Meter.probability_many(meter, stream)
+        loop_seconds = time.perf_counter() - start
+
+        assert batch == loop  # overrides must not change a single value
+        speedup = loop_seconds / batch_seconds
+        measurements[f"{kind}_loop_seconds"] = loop_seconds
+        measurements[f"{kind}_batch_seconds"] = batch_seconds
+        measurements[f"{kind}_speedup"] = speedup
+        lines.append(
+            f"  {kind:9s} loop {loop_seconds:7.3f} s   "
+            f"batch {batch_seconds:7.3f} s   {speedup:5.2f}x"
+        )
+        if must_win:
+            assert speedup > 1.2, f"{kind} batch override slower than loop"
+        elif kind != "fuzzypsm":
+            # Rule-based meters run the very same base loop twice; any
+            # drift is machine noise, bounded generously for CI jitter.
+            assert 0.25 < speedup < 4.0
+
+    emit(
+        capsys,
+        f"(timing) batch vs loop, {len(stream):,} scores "
+        f"({distinct:,} distinct):\n" + "\n".join(lines),
+    )
+    record("batch_vs_loop_scoring", **measurements)

@@ -17,6 +17,7 @@ from repro.datasets.synthetic import SyntheticEcosystem
 from repro.experiments.reporting import format_curves, format_ranking
 from repro.experiments.runner import ExperimentConfig, run_scenario
 from repro.experiments.scenarios import scenario
+from repro.meters import registry
 
 name = sys.argv[1] if len(sys.argv) > 1 else "real-csdn"
 chosen = scenario(name)
@@ -26,6 +27,15 @@ print(f"  kind          : {chosen.kind}")
 print(f"  base dict     : {chosen.base_dataset}")
 print(f"  training leak : {chosen.train_dataset or '1/4 of test set'}")
 print(f"  test set      : {chosen.test_dataset}")
+print()
+
+# The suite is whatever the meter registry knows how to build — the
+# config names meters, the registry supplies class, builder and
+# capability flags (same mechanism as ``python -m repro meters``).
+print("contenders:")
+for display_name in ExperimentConfig().meters:
+    spec = registry.get_spec(display_name)
+    print(f"  {spec.display_name:8s} [{', '.join(spec.capability_names())}]")
 print()
 
 # Scale matters: small corpora leave too few frequent passwords for

@@ -9,7 +9,7 @@ Quick start::
         training=["password123", "Password1", "p@ssw0rd"],
     )
     meter.probability("P@ssword123")   # higher = weaker
-    meter.accept("newuserpassword1")   # adaptive update phase
+    meter.update("newuserpassword1")   # adaptive update phase
 
 The package layout follows the paper:
 

@@ -11,9 +11,17 @@ family they protect:
 * :mod:`~repro.analysis.rules.hygiene` — FPM006/FPM007/FPM008,
   silent excepts, mutable defaults, public-API annotations;
 * :mod:`~repro.analysis.rules.timing` — FPM009, the injectable
-  telemetry clock as the only wall-clock source.
+  telemetry clock as the only wall-clock source;
+* :mod:`~repro.analysis.rules.dispatch` — FPM010, meter dispatch via
+  the capability registry, never concrete classes or kind literals.
 """
 
-from repro.analysis.rules import determinism, hygiene, probability, timing
+from repro.analysis.rules import (
+    determinism,
+    dispatch,
+    hygiene,
+    probability,
+    timing,
+)
 
-__all__ = ["determinism", "hygiene", "probability", "timing"]
+__all__ = ["determinism", "dispatch", "hygiene", "probability", "timing"]

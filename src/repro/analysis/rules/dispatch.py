@@ -1,0 +1,132 @@
+"""Dispatch rule: meter dispatch goes through the registry.
+
+The meter registry (:mod:`repro.meters.registry`) is the single point
+where meter kinds, classes and capabilities meet.  Code that branches
+on ``isinstance(meter, PCFGMeter)`` or ``kind == "markov"`` re-creates
+the hardcoded dispatch tables the registry replaced — and silently
+misses any meter registered later.  The blessed spellings are
+capability checks (``isinstance(meter, Updatable)``,
+``spec.has(Capability.PERSISTABLE)``) and registry lookups
+(``get_spec``, ``build_meter``, ``kinds_with``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.core import Rule
+from repro.analysis.registry import register
+
+#: The concrete meter classes shipping with the package.  Capability
+#: protocols (Updatable, Persistable, ...) are deliberately absent:
+#: isinstance against those IS the blessed dispatch.
+_METER_CLASS_NAMES = frozenset(
+    {
+        "FuzzyPSM",
+        "PCFGMeter",
+        "MarkovMeter",
+        "IdealMeter",
+        "ZxcvbnMeter",
+        "KeePSMMeter",
+        "NISTMeter",
+    }
+)
+
+#: Registry kinds and display names whose string comparison marks a
+#: hand-rolled dispatch table.  ``ideal``/``Ideal`` are deliberately
+#: excluded: scenario kinds (``scenario.kind == "ideal"``, the paper's
+#: ideal/real/cross split) legitimately share that spelling and are
+#: not meter dispatch.
+_METER_KIND_LITERALS = frozenset(
+    {
+        "fuzzypsm", "fuzzyPSM",
+        "pcfg", "PCFG",
+        "markov", "Markov",
+        "zxcvbn", "Zxcvbn",
+        "keepsm", "KeePSM",
+        "nist", "NIST",
+    }
+)
+
+
+def _class_name(node: ast.AST) -> Optional[str]:
+    """The trailing identifier of a Name or dotted Attribute."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _string_literals(node: ast.AST) -> Iterator[str]:
+    """Every string constant in a comparison operand."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        yield node.value
+    elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                yield element.value
+
+
+@register
+class ConcreteMeterDispatchRule(Rule):
+    """FPM010: no concrete-meter isinstance or kind-string dispatch."""
+
+    rule_id = "FPM010"
+    name = "concrete-meter-dispatch"
+    summary = (
+        "isinstance against concrete meter classes and comparisons "
+        "with meter-kind string literals bypass the meter registry; "
+        "dispatch on capabilities or registry specs instead"
+    )
+
+    def check(self, tree: ast.Module) -> None:
+        # The registry module is the one place allowed to know every
+        # kind string and class: it defines the mapping the rest of
+        # the codebase must consume.
+        path = self.context.path.replace("\\", "/")
+        if path.endswith("meters/registry.py"):
+            return
+        self.visit(tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            target = node.args[1]
+            candidates: List[ast.AST] = (
+                list(target.elts)
+                if isinstance(target, ast.Tuple)
+                else [target]
+            )
+            for candidate in candidates:
+                name = _class_name(candidate)
+                if name in _METER_CLASS_NAMES:
+                    self.report(
+                        node,
+                        f"isinstance() against concrete meter {name}; "
+                        "check a registry capability protocol "
+                        "(repro.meters.registry) instead",
+                    )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(
+            isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn))
+            for op in node.ops
+        ):
+            for operand in [node.left, *node.comparators]:
+                for literal in _string_literals(operand):
+                    if literal in _METER_KIND_LITERALS:
+                        self.report(
+                            node,
+                            f"comparison with meter-kind literal "
+                            f"{literal!r}; resolve through the meter "
+                            "registry (get_spec/kinds_with) instead",
+                        )
+        self.generic_visit(node)

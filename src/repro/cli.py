@@ -5,8 +5,9 @@ Commands cover the full paper workflow:
 * ``survey``      — print the user-survey headline numbers (Figs. 2-8);
 * ``generate``    — synthesise a calibrated corpus to a file;
 * ``stats``       — Tables VIII-X statistics for a corpus file;
-* ``train``       — train fuzzyPSM / PCFG / Markov and save the model;
+* ``train``       — train any registered trainable meter and save it;
 * ``measure``     — measure passwords with a saved model;
+* ``meters``      — list registered meters and their capabilities;
 * ``guess``       — emit a model's top guesses (cracking mode);
 * ``scenarios``   — list the Table-XI experiment matrix;
 * ``experiment``  — run one scenario and print its Fig.-13 curves;
@@ -24,7 +25,6 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.core.meter import FuzzyPSM
 from repro.datasets.loaders import load_corpus, save_corpus
 from repro.datasets.profiles import DATASET_ORDER
 from repro.datasets.stats import (
@@ -42,9 +42,10 @@ from repro.experiments.reporting import (
 )
 from repro.experiments.runner import ExperimentConfig, run_scenario
 from repro.experiments.scenarios import ALL_SCENARIOS, scenario
+from repro.meters import registry
 from repro.meters.base import probability_to_entropy
-from repro.meters.markov import MarkovMeter, Smoothing
-from repro.meters.pcfg import PCFGMeter
+from repro.meters.markov import Smoothing
+from repro.meters.registry import Capability, TrainContext
 from repro.persistence import load_meter, save_meter
 from repro.survey.analysis import survey_report
 
@@ -80,8 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="training corpus file")
     train.add_argument("--base",
                        help="base dictionary corpus file (fuzzyPSM only)")
-    train.add_argument("--kind", choices=("fuzzypsm", "pcfg", "markov"),
-                       default="fuzzypsm")
+    # Any registered trainable + persistable meter is a --kind choice:
+    # registering a new meter makes it trainable here with no CLI edit.
+    train.add_argument(
+        "--kind",
+        choices=registry.kinds_with(
+            Capability.TRAINABLE, Capability.PERSISTABLE
+        ),
+        default="fuzzypsm",
+    )
     train.add_argument("--order", type=int, default=3,
                        help="Markov order")
     train.add_argument(
@@ -120,6 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     guess.add_argument("--model", required=True)
     guess.add_argument("--count", "-n", type=int, default=100)
+
+    meters = commands.add_parser(
+        "meters", help="list registered meters and their capabilities"
+    )
+    meters.add_argument(
+        "--format", dest="output_format",
+        choices=("text", "json"), default="text",
+    )
 
     commands.add_parser("scenarios", help="list the Table-XI matrix")
 
@@ -275,31 +291,45 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_train(args: argparse.Namespace) -> int:
-    training = load_corpus(args.training)
-    items = list(training.items())
-    if args.kind == "fuzzypsm":
-        if not args.base:
-            print("error: --base is required for fuzzyPSM",
-                  file=sys.stderr)
-            return 2
-        from repro.core.meter import FuzzyPSMConfig
-        base = load_corpus(args.base)
-        meter = FuzzyPSM.train(
-            base_dictionary=base.unique_passwords(), training=items,
-            config=FuzzyPSMConfig(
+def _train_context(args: argparse.Namespace,
+                   training_items: Sequence,
+                   base_dictionary: Sequence[str]) -> TrainContext:
+    """The registry context carrying every CLI training tunable.
+
+    Each registered builder picks the options relevant to its family
+    and ignores the rest, so one context trains any ``--kind``.
+    """
+    from repro.core.meter import FuzzyPSMConfig
+    return TrainContext(
+        training=tuple(training_items),
+        base_dictionary=tuple(base_dictionary),
+        options={
+            "markov_order": args.order,
+            "markov_smoothing": Smoothing(args.smoothing),
+            "jobs": args.jobs,
+            "fuzzy_config": FuzzyPSMConfig(
                 allow_reverse=args.allow_reverse,
                 allow_allcaps=args.allow_allcaps,
                 use_compiled_trie=not args.no_compile,
             ),
-            jobs=args.jobs,
-        )
-    elif args.kind == "pcfg":
-        meter = PCFGMeter.train(items)
-    else:
-        meter = MarkovMeter.train(
-            items, order=args.order, smoothing=Smoothing(args.smoothing)
-        )
+        },
+    )
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    spec = registry.get_spec(args.kind)
+    if spec.requires_base_dictionary and not args.base:
+        print(f"error: --base is required for {spec.display_name}",
+              file=sys.stderr)
+        return 2
+    training = load_corpus(args.training)
+    base_dictionary: Sequence[str] = ()
+    if args.base:
+        base_dictionary = load_corpus(args.base).unique_passwords()
+    meter = registry.build_meter(
+        args.kind,
+        _train_context(args, list(training.items()), base_dictionary),
+    )
     save_meter(meter, args.output)
     print(f"trained {meter.name} on {training.total} passwords "
           f"-> {args.output}")
@@ -311,9 +341,9 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     passwords: Sequence[str] = args.passwords or [
         line.rstrip("\n") for line in sys.stdin if line.strip()
     ]
-    # One batched pass: FuzzyPSM serves this through its parse cache,
-    # so repeated passwords in a stream are only parsed once.
-    probabilities = meter.probabilities(passwords)
+    # One batched pass: meters with vectorised overrides (fuzzyPSM's
+    # parse cache, the PCFG/Markov memos) score repeats only once.
+    probabilities = meter.probability_many(passwords)
     print(format_table(
         ["password", "probability", "entropy(bits)"],
         [
@@ -321,6 +351,35 @@ def _cmd_measure(args: argparse.Namespace) -> int:
              f"{probability_to_entropy(probability):.2f}"]
             for pw, probability in zip(passwords, probabilities)
         ],
+    ))
+    return 0
+
+
+def _cmd_meters(args: argparse.Namespace) -> int:
+    specs = registry.all_specs()
+    if args.output_format == "json":
+        print(json.dumps(
+            {
+                kind: {
+                    "display_name": spec.display_name,
+                    "capabilities": spec.capability_names(),
+                    "requires_base_dictionary":
+                        spec.requires_base_dictionary,
+                    "summary": spec.summary,
+                }
+                for kind, spec in specs.items()
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(format_table(
+        ["kind", "name", "capabilities", "summary"],
+        [
+            [kind, spec.display_name,
+             ", ".join(spec.capability_names()), spec.summary]
+            for kind, spec in specs.items()
+        ],
+        title="registered meters",
     ))
     return 0
 
@@ -487,10 +546,13 @@ def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
             base_dictionary = base.unique_passwords()
             training_items = list(training.items())
         with telemetry.timer("profile.train.seconds"):
-            meter = FuzzyPSM.train(
-                base_dictionary=base_dictionary,
-                training=training_items,
-                jobs=args.jobs,
+            meter = registry.build_meter(
+                "fuzzypsm",
+                TrainContext(
+                    training=tuple(training_items),
+                    base_dictionary=tuple(base_dictionary),
+                    options={"jobs": args.jobs},
+                ),
             )
         with telemetry.timer("profile.score.seconds"):
             for _ in range(max(1, args.repeat)):
@@ -538,6 +600,7 @@ _HANDLERS = {
     "train": _cmd_train,
     "measure": _cmd_measure,
     "guess": _cmd_guess,
+    "meters": _cmd_meters,
     "scenarios": _cmd_scenarios,
     "experiment": _cmd_experiment,
     "coach": _cmd_coach,

@@ -7,7 +7,7 @@ Typical use::
     meter = FuzzyPSM.train(base_dictionary=rockyou, training=phpbb)
     meter.probability("P@ssw0rd123")   # higher = weaker
     meter.entropy("P@ssw0rd123")       # same, in bits
-    meter.accept("newpassword1")       # update phase
+    meter.update("newpassword1")       # update phase
 
 The meter is a :class:`~repro.meters.base.ProbabilisticMeter`: it can
 also output guesses in decreasing probability (making it a cracking
@@ -17,6 +17,7 @@ tool, paper footnote 6) and be sampled for Monte-Carlo guess numbers.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -31,7 +32,8 @@ from repro.core.grammar import (
 from repro.core.parser import FuzzyParser, ParsedPassword
 from repro.core.training import PasswordEntry, build_base_trie, train_grammar
 from repro.core.trie import PrefixTrie
-from repro.meters.base import ProbabilisticMeter, probability_to_entropy
+from repro.meters.base import ProbabilisticMeter
+from repro.meters.registry import Capability, TrainContext, register_meter
 from repro.metrics.enumeration import (
     LazyDescendingList,
     deduplicate_guesses,
@@ -108,6 +110,29 @@ def _build_parser(trie: PrefixTrie, config: FuzzyPSMConfig) -> FuzzyParser:
     )
 
 
+def _build_fuzzypsm(cls: type, context: TrainContext) -> "FuzzyPSM":
+    """Registry builder: base dictionary + training + family options."""
+    options = context.options
+    return cls.train(
+        base_dictionary=context.base_dictionary,
+        training=list(context.training),
+        config=options.get("fuzzy_config"),
+        jobs=options.get("jobs"),
+    )
+
+
+@register_meter(
+    "fuzzypsm",
+    capabilities=(
+        Capability.TRAINABLE,
+        Capability.UPDATABLE,
+        Capability.BATCH_SCORABLE,
+        Capability.PERSISTABLE,
+    ),
+    summary="The paper's fuzzy-PCFG meter with an online update phase",
+    builder=_build_fuzzypsm,
+    requires_base_dictionary=True,
+)
 class FuzzyPSM(ProbabilisticMeter):
     """The fuzzy-PCFG password strength meter.
 
@@ -237,17 +262,6 @@ class FuzzyPSM(ProbabilisticMeter):
             telemetry.observe("meter.batch.size", float(len(out)))
         return out
 
-    def entropy_many(self, passwords: Iterable[str]) -> List[float]:
-        """Bulk :meth:`entropy` (bits; 0-probability maps to +inf)."""
-        return [
-            probability_to_entropy(p)
-            for p in self.probability_many(passwords)
-        ]
-
-    def probabilities(self, passwords: Iterable[str]) -> List[float]:
-        """Vectorised meter interface, served by :meth:`probability_many`."""
-        return self.probability_many(passwords)
-
     def explain(self, password: str) -> Explanation:
         """A structured account of how the password was derived."""
         parsed = self.parse(password)
@@ -276,12 +290,14 @@ class FuzzyPSM(ProbabilisticMeter):
 
     # --- update phase ------------------------------------------------------
 
-    def accept(self, password: str, count: int = 1) -> None:
+    def update(self, password: str, count: int = 1) -> None:
         """The update phase: fold an accepted password into the grammar.
 
         All probabilities associated with the password's structures,
         terminals and transformation rules shift towards the new
         observation (paper Sec. IV-C), keeping the meter adaptive.
+        This is the unified lifecycle verb
+        (:class:`repro.meters.registry.Updatable`).
         """
         if not password:
             raise ValueError("cannot accept an empty password")
@@ -292,6 +308,15 @@ class FuzzyPSM(ProbabilisticMeter):
             )
         parsed = self.parse(password)
         self._grammar.observe(parsed.to_derivation(), count)
+
+    def accept(self, password: str, count: int = 1) -> None:
+        """Deprecated spelling of :meth:`update`."""
+        warnings.warn(
+            "FuzzyPSM.accept() is deprecated; use update()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.update(password, count)
 
     # --- serialisation -----------------------------------------------------
 

@@ -20,17 +20,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.obs.report import build_report
-from repro.core.meter import FuzzyPSM, FuzzyPSMConfig
 from repro.datasets.corpus import PasswordCorpus
 from repro.datasets.synthetic import SyntheticEcosystem
 from repro.experiments.scenarios import Scenario
+from repro.meters import registry
 from repro.meters.base import Meter
 from repro.meters.ideal import IdealMeter
-from repro.meters.keepsm import KeePSMMeter
-from repro.meters.markov import MarkovMeter, Smoothing
-from repro.meters.nist import NISTMeter
-from repro.meters.pcfg import PCFGMeter
-from repro.meters.zxcvbn import ZxcvbnMeter
+from repro.meters.markov import Smoothing
+from repro.meters.registry import TrainContext
 from repro.meters.zxcvbn.frequency_lists import COMMON_PASSWORDS
 from repro.metrics.curves import CurvePoint, correlation_curve, log_grid
 from repro.metrics.rank import kendall_tau, spearman_rho
@@ -112,52 +109,30 @@ def build_meters(base_corpus: PasswordCorpus,
     how a deployment would provision them.
     """
     config = config or ExperimentConfig()
-    training_items = list(training_corpus.items())
     # The rule-based industry/standards meters are static: they ship
     # with stock dictionaries and are NOT retrained per service (that
-    # inability to adapt is one of the paper's points).  Only the
-    # machine-learning meters see the training corpus.
+    # inability to adapt is one of the paper's points).  Their registry
+    # builders ignore the training corpus and take only the stock
+    # dictionary; the machine-learning meters train on the full
+    # weighted corpus.  One shared context serves every meter.
+    context = TrainContext(
+        training=tuple(training_corpus.items()),
+        base_dictionary=tuple(base_corpus.unique_passwords()),
+        dictionary=COMMON_PASSWORDS,
+        options={
+            "markov_order": config.markov_order,
+            "markov_smoothing": config.markov_smoothing,
+            "jobs": config.jobs,
+        },
+    )
     telemetry = obs.get()
     meters: List[Meter] = []
     for name in config.meters:
         # One observation per trained meter: the histogram's spread is
         # the per-meter training cost mix of the scenario.
         with telemetry.timer("experiment.train.seconds"):
-            _build_one_meter(meters, name, base_corpus, training_items,
-                             config)
+            meters.append(registry.build_meter(name, context))
     return meters
-
-
-def _build_one_meter(meters: List[Meter], name: str,
-                     base_corpus: PasswordCorpus,
-                     training_items: List[Tuple[str, int]],
-                     config: ExperimentConfig) -> None:
-    if name == "fuzzyPSM":
-        meters.append(
-            FuzzyPSM.train(
-                base_dictionary=base_corpus.unique_passwords(),
-                training=training_items,
-                jobs=config.jobs,
-            )
-        )
-    elif name == "PCFG":
-        meters.append(PCFGMeter.train(training_items))
-    elif name == "Markov":
-        meters.append(
-            MarkovMeter.train(
-                training_items,
-                order=config.markov_order,
-                smoothing=config.markov_smoothing,
-            )
-        )
-    elif name == "Zxcvbn":
-        meters.append(ZxcvbnMeter())
-    elif name == "KeePSM":
-        meters.append(KeePSMMeter(COMMON_PASSWORDS))
-    elif name == "NIST":
-        meters.append(NISTMeter(dictionary=COMMON_PASSWORDS))
-    else:
-        raise ValueError(f"unknown meter {name!r}")
 
 
 def evaluate_meters(meters: Sequence[Meter], test_corpus: PasswordCorpus,
@@ -183,15 +158,21 @@ def evaluate_meters(meters: Sequence[Meter], test_corpus: PasswordCorpus,
         raise ValueError(
             f"fewer than two test passwords with frequency >= {min_frequency}"
         )
-    # Batched scoring: meters with a vectorised fast path (fuzzyPSM's
-    # probability_many) serve the whole list through their parse cache;
-    # the base-class fallback is the same per-call loop as before.
+    # Batched scoring: every meter is batch-scorable through
+    # Meter.probability_many — vectorised overrides (fuzzyPSM's parse
+    # cache, the PCFG/Markov memos) serve the whole list at once, the
+    # base-class default is the same per-call loop as before.
     telemetry = obs.get()
-    ideal_scores = ideal.probabilities(passwords)
+    ideal_scores = ideal.probability_many(passwords)
     curves = []
     for meter in meters:
-        with telemetry.timer("experiment.score.seconds"):
-            meter_scores = meter.probabilities(passwords)
+        spec = registry.spec_for(meter)
+        kind = spec.kind if spec is not None else meter.name.lower()
+        # Two spans per meter: the aggregate histogram keeps the whole
+        # suite's scoring-cost mix, the per-kind one names the meter.
+        with telemetry.timer("experiment.score.seconds"), \
+                telemetry.timer(f"experiment.score.{kind}.seconds"):
+            meter_scores = meter.probability_many(passwords)
         points = correlation_curve(
             ideal_scores, meter_scores, ks=ks, metric=metric
         )

@@ -20,6 +20,17 @@ Six meters, all sharing the :class:`~repro.meters.base.Meter` interface:
 """
 
 from repro.meters.base import Meter, ProbabilisticMeter, entropy_to_probability
+from repro.meters.registry import (
+    BatchScorable,
+    Capability,
+    MeterSpec,
+    Persistable,
+    TrainContext,
+    Trainable,
+    Updatable,
+    build_meter,
+    register_meter,
+)
 from repro.meters.ideal import IdealMeter
 from repro.meters.pcfg import PCFGMeter
 from repro.meters.markov import MarkovMeter, Smoothing
@@ -34,6 +45,15 @@ __all__ = [
     "Meter",
     "ProbabilisticMeter",
     "entropy_to_probability",
+    "BatchScorable",
+    "Capability",
+    "MeterSpec",
+    "Persistable",
+    "TrainContext",
+    "Trainable",
+    "Updatable",
+    "build_meter",
+    "register_meter",
     "IdealMeter",
     "PCFGMeter",
     "MarkovMeter",

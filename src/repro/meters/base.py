@@ -53,9 +53,27 @@ class Meter(abc.ABC):
         """Equivalent strength in bits (``-log2`` of the meter value)."""
         return probability_to_entropy(self.probability(password))
 
-    def probabilities(self, passwords: Iterable[str]) -> List[float]:
-        """Vectorised convenience wrapper."""
+    def probability_many(self, passwords: Iterable[str]) -> List[float]:
+        """Batch :meth:`probability` — the bulk-scoring entry point.
+
+        The base implementation is a plain per-password loop, so every
+        meter is batch-scorable by construction; meters with a cheaper
+        vectorised path override this.  Overrides must stay
+        bit-identical to the loop: the batch API is an
+        execution-strategy change, never a semantics change.
+        """
         return [self.probability(pw) for pw in passwords]
+
+    def entropy_many(self, passwords: Iterable[str]) -> List[float]:
+        """Batch :meth:`entropy`, derived from :meth:`probability_many`."""
+        return [
+            probability_to_entropy(probability)
+            for probability in self.probability_many(passwords)
+        ]
+
+    def probabilities(self, passwords: Iterable[str]) -> List[float]:
+        """Vectorised convenience wrapper (alias of ``probability_many``)."""
+        return self.probability_many(passwords)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

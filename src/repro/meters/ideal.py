@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.meters.base import ProbabilisticMeter
+from repro.meters.registry import Capability, TrainContext, register_meter
 from repro.util.freqdist import FrequencyDistribution
 
 #: Below this frequency the empirical estimate is too noisy for the
@@ -19,6 +20,20 @@ from repro.util.freqdist import FrequencyDistribution
 RELIABLE_FREQUENCY = 4
 
 
+def _build_ideal(cls: type, context: TrainContext) -> "IdealMeter":
+    """Registry builder: the empirical distribution of the training set."""
+    counts: Dict[str, int] = {}
+    for password, count in context.training:
+        counts[password] = counts.get(password, 0) + count
+    return cls(counts)
+
+
+@register_meter(
+    "ideal",
+    capabilities=(Capability.BATCH_SCORABLE,),
+    summary="Empirical-frequency benchmark meter (paper Sec. II-B)",
+    builder=_build_ideal,
+)
 class IdealMeter(ProbabilisticMeter):
     """Empirical-frequency meter over a sampled password dataset.
 
@@ -56,6 +71,18 @@ class IdealMeter(ProbabilisticMeter):
 
     def probability(self, password: str) -> float:
         return self._distribution.probability(password)
+
+    def probability_many(self, passwords: Iterable[str]) -> List[float]:
+        """Batch scoring with the count lookup and total hoisted.
+
+        The constructor guarantees ``total > 0``, so the division is
+        exactly :meth:`FrequencyDistribution.probability` with the
+        per-call attribute chasing removed — results are bit-identical
+        to the base loop.
+        """
+        count = self._distribution.count
+        total = self._distribution.total
+        return [count(password) / total for password in passwords]
 
     def frequency(self, password: str) -> int:
         return self._distribution.count(password)

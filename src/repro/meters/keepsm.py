@@ -26,10 +26,16 @@ import math
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.meters.base import Meter, entropy_to_probability
+from repro.meters.registry import Capability, TrainContext, register_meter
 
 #: Character-class sizes used for plain-character costs (KeePass uses
 #: the same class partition: lower, upper, digit, special, high-ANSI).
 _CLASS_SIZES = {"lower": 26, "upper": 26, "digit": 10, "special": 33}
+
+
+def _build_keepsm(cls: type, context: TrainContext) -> "KeePSMMeter":
+    """Registry builder: provision with the stock ranked dictionary."""
+    return cls(context.dictionary or None)
 
 
 def _char_cost(ch: str) -> float:
@@ -44,6 +50,12 @@ def _char_cost(ch: str) -> float:
     return math.log2(size)
 
 
+@register_meter(
+    "keepsm",
+    capabilities=(Capability.BATCH_SCORABLE,),
+    summary="KeePass 2.x min-cost pattern-cover entropy estimator",
+    builder=_build_keepsm,
+)
 class KeePSMMeter(Meter):
     """Pattern-aware min-cost entropy estimator.
 

@@ -27,9 +27,11 @@ import enum
 import math
 import random
 import string
+import warnings
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.meters.base import ProbabilisticMeter
+from repro.meters.registry import Capability, TrainContext, register_meter
 from repro.util.charclasses import PRINTABLE_ASCII
 from repro.util.freqdist import FrequencyDistribution
 
@@ -46,6 +48,30 @@ class Smoothing(enum.Enum):
     GOOD_TURING = "good-turing"
 
 
+def _build_markov(cls: type, context: TrainContext) -> "MarkovMeter":
+    """Registry builder: ``markov_order``/``markov_smoothing`` options."""
+    options = context.options
+    smoothing = options.get("markov_smoothing", Smoothing.BACKOFF)
+    if isinstance(smoothing, str):
+        smoothing = Smoothing(smoothing)
+    return cls.train(
+        list(context.training),
+        order=options.get("markov_order", 3),
+        smoothing=smoothing,
+    )
+
+
+@register_meter(
+    "markov",
+    capabilities=(
+        Capability.TRAINABLE,
+        Capability.UPDATABLE,
+        Capability.BATCH_SCORABLE,
+        Capability.PERSISTABLE,
+    ),
+    summary="Character-level Markov model meter with smoothing",
+    builder=_build_markov,
+)
 class MarkovMeter(ProbabilisticMeter):
     """Character-level Markov model meter.
 
@@ -109,11 +135,15 @@ class MarkovMeter(ProbabilisticMeter):
             else:
                 password, count = entry
             if password:
-                meter.observe(password, count)
+                meter.update(password, count)
         return meter
 
-    def observe(self, password: str, count: int = 1) -> None:
-        """Count every transition of ``password`` (all context orders)."""
+    def update(self, password: str, count: int = 1) -> None:
+        """Count every transition of ``password`` (all context orders).
+
+        This is the online update phase of the unified lifecycle
+        (:class:`repro.meters.registry.Updatable`).
+        """
         if not password:
             raise ValueError("cannot observe an empty password")
         padded = START * self.order + password + END
@@ -127,6 +157,15 @@ class MarkovMeter(ProbabilisticMeter):
                 table.add(successor, count)
         self._counts_of_counts = None  # invalidate Good-Turing cache
         self._successor_cache.clear()
+
+    def observe(self, password: str, count: int = 1) -> None:
+        """Deprecated spelling of :meth:`update`."""
+        warnings.warn(
+            "MarkovMeter.observe() is deprecated; use update()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.update(password, count)
 
     # --- probabilities -----------------------------------------------------
 
@@ -143,6 +182,47 @@ class MarkovMeter(ProbabilisticMeter):
             if probability == 0.0:
                 return 0.0
         return probability
+
+    def probability_many(self, passwords: Iterable[str]) -> List[float]:
+        """Batch scoring with distinct-password and transition memos.
+
+        Real measuring streams repeat both whole passwords (Zipf head)
+        and ``(context, successor)`` transitions (shared prefixes), so
+        one batch shares both lookups.  Both memos are sound because
+        :meth:`probability` and :meth:`transition_probability` are pure
+        between updates, and the factor order matches
+        :meth:`probability` exactly — results are bit-identical.
+        """
+        memo: Dict[str, float] = {}
+        transitions: Dict[Tuple[str, str], float] = {}
+        transition_probability = self.transition_probability
+        order = self.order
+        max_length = self.max_length
+        out: List[float] = []
+        for password in passwords:
+            value = memo.get(password)
+            if value is None:
+                if not password or len(password) > max_length:
+                    value = 0.0
+                else:
+                    padded = START * order + password + END
+                    value = 1.0
+                    for position in range(order, len(padded)):
+                        key = (
+                            padded[position - order:position],
+                            padded[position],
+                        )
+                        factor = transitions.get(key)
+                        if factor is None:
+                            factor = transitions[key] = (
+                                transition_probability(*key)
+                            )
+                        value *= factor
+                        if value == 0.0:
+                            break
+                memo[password] = value
+            out.append(value)
+        return out
 
     def transition_probability(self, context: str, successor: str) -> float:
         """``P(successor | context)`` under the configured smoothing."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Container, FrozenSet, Iterable, Optional
 
 from repro.meters.base import Meter, entropy_to_probability
+from repro.meters.registry import Capability, TrainContext, register_meter
 
 
 def nist_entropy(password: str,
@@ -55,6 +56,17 @@ def nist_entropy(password: str,
     return bits
 
 
+def _build_nist(cls: type, context: TrainContext) -> "NISTMeter":
+    """Registry builder: provision the dictionary-check word list."""
+    return cls(dictionary=context.dictionary or None)
+
+
+@register_meter(
+    "nist",
+    capabilities=(Capability.BATCH_SCORABLE,),
+    summary="NIST SP-800-63 rule-based entropy meter",
+    builder=_build_nist,
+)
 class NISTMeter(Meter):
     """SP-800-63 entropy wrapped in the common meter interface.
 

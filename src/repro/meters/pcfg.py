@@ -16,9 +16,11 @@ guesses in decreasing probability (used for Table III and Fig. 10).
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.meters.base import ProbabilisticMeter
+from repro.meters.registry import Capability, register_meter
 from repro.metrics.enumeration import (
     deduplicate_guesses,
     descending_products,
@@ -49,6 +51,16 @@ def structure_string(slots: Tuple[Slot, ...]) -> str:
     return "".join(f"{cls.value}{length}" for cls, length in slots)
 
 
+@register_meter(
+    "pcfg",
+    capabilities=(
+        Capability.TRAINABLE,
+        Capability.UPDATABLE,
+        Capability.BATCH_SCORABLE,
+        Capability.PERSISTABLE,
+    ),
+    summary="Traditional PCFG meter (Weir et al.) trained by counting",
+)
 class PCFGMeter(ProbabilisticMeter):
     """Traditional PCFG meter with counts learned from a training set.
 
@@ -78,29 +90,44 @@ class PCFGMeter(ProbabilisticMeter):
             else:
                 password, count = entry
             if password:
-                meter.observe(password, count)
+                meter.update(password, count)
         return meter
 
-    def observe(self, password: str, count: int = 1) -> None:
-        """Count one password into the structure and segment tables."""
+    def update(self, password: str, count: int = 1) -> None:
+        """Count one password into the structure and segment tables.
+
+        This is the online update phase of the unified lifecycle
+        (:class:`repro.meters.registry.Updatable`).
+        """
         if not password:
             raise ValueError("cannot observe an empty password")
-        slots = password_slots(password)
+        segments = segment_by_class(password)
+        slots = tuple((seg.char_class, len(seg.text)) for seg in segments)
         self._structures.add(slots, count)
-        for slot, segment in zip(slots, segment_by_class(password)):
+        for slot, segment in zip(slots, segments):
             table = self._segments.setdefault(slot, FrequencyDistribution())
             table.add(segment.text, count)
+
+    def observe(self, password: str, count: int = 1) -> None:
+        """Deprecated spelling of :meth:`update`."""
+        warnings.warn(
+            "PCFGMeter.observe() is deprecated; use update()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.update(password, count)
 
     # --- measuring ---------------------------------------------------------
 
     def probability(self, password: str) -> float:
         if not password:
             return 0.0
-        slots = password_slots(password)
+        segments = segment_by_class(password)
+        slots = tuple((seg.char_class, len(seg.text)) for seg in segments)
         probability = self._structures.probability(slots)
         if probability == 0.0:
             return 0.0
-        for slot, segment in zip(slots, segment_by_class(password)):
+        for slot, segment in zip(slots, segments):
             table = self._segments.get(slot)
             if table is None:
                 return 0.0
@@ -108,6 +135,24 @@ class PCFGMeter(ProbabilisticMeter):
             if probability == 0.0:
                 return 0.0
         return probability
+
+    def probability_many(self, passwords: Iterable[str]) -> List[float]:
+        """Batch scoring with a per-batch distinct-password memo.
+
+        Measuring streams are Zipf-shaped (a few passwords dominate),
+        so scoring each *distinct* password once cuts most of the
+        segmentation work.  Results are bit-identical to the base loop
+        because :meth:`probability` is pure.
+        """
+        memo: Dict[str, float] = {}
+        out: List[float] = []
+        probability = self.probability
+        for password in passwords:
+            value = memo.get(password)
+            if value is None:
+                value = memo[password] = probability(password)
+            out.append(value)
+        return out
 
     # --- introspection -------------------------------------------------------
 

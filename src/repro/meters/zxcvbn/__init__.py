@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.meters.base import Meter, entropy_to_probability
+from repro.meters.registry import Capability, register_meter
 from repro.meters.zxcvbn.matching import MatchCollector, Match
 from repro.meters.zxcvbn.scoring import (
     MatchSequence,
@@ -28,6 +29,11 @@ from repro.meters.zxcvbn.frequency_lists import DEFAULT_RANKED_DICTIONARIES
 from repro.meters.zxcvbn.crack_time import StrengthReport, strength_report
 
 
+@register_meter(
+    "zxcvbn",
+    capabilities=(Capability.BATCH_SCORABLE,),
+    summary="zxcvbn minimum-entropy pattern-cover estimator",
+)
 class ZxcvbnMeter(Meter):
     """zxcvbn wrapped in the common meter interface.
 

@@ -1,8 +1,8 @@
 """Saving and loading trained meters as JSON files.
 
-The three machine-learning meters (fuzzyPSM, PCFG, Markov) are trained
-artefacts a deployment would build once and ship; this module gives
-them a common on-disk format::
+Trained meters are artefacts a deployment builds once and ships; this
+module gives every registered :class:`Persistable` meter a common
+on-disk format::
 
     from repro import FuzzyPSM
     from repro.persistence import save_meter, load_meter
@@ -11,51 +11,70 @@ them a common on-disk format::
     save_meter(meter, "fuzzy.json")
     meter = load_meter("fuzzy.json")   # type restored automatically
 
-Files carry a ``kind`` tag and a format version, so loading dispatches
-to the right class and future format changes stay detectable.
+Files carry a ``kind`` tag, the meter's capability list and a format
+version, so loading dispatches through the meter registry
+(:mod:`repro.meters.registry`) and future format changes stay
+detectable.  Registering a new ``Persistable`` meter is all it takes
+to make it saveable and loadable — there is no per-kind table here.
+
+Output is deterministic: keys are sorted, so saving the same model
+twice produces byte-identical files (required for artefact diffing
+and content-addressed caches).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Type, Union
+from typing import Any, Dict
 
-from repro.core.meter import FuzzyPSM
-from repro.meters.markov import MarkovMeter
-from repro.meters.pcfg import PCFGMeter
+from repro.meters import registry
+from repro.meters.base import Meter
+from repro.meters.registry import Capability, MeterSpec
 
 FORMAT_VERSION = 1
 
-TrainedMeter = Union[FuzzyPSM, PCFGMeter, MarkovMeter]
-
-_KINDS: Dict[str, Type] = {
-    "fuzzypsm": FuzzyPSM,
-    "pcfg": PCFGMeter,
-    "markov": MarkovMeter,
-}
+#: Backwards-compatible alias: any registered meter can be persisted
+#: as long as its registry entry declares :data:`Capability.PERSISTABLE`.
+TrainedMeter = Meter
 
 
-def _kind_of(meter: TrainedMeter) -> str:
-    for kind, klass in _KINDS.items():
-        if isinstance(meter, klass):
-            return kind
-    raise TypeError(
-        f"cannot serialise meter of type {type(meter).__name__}; "
-        f"supported: {', '.join(sorted(_KINDS))}"
-    )
+def _persistable_spec(meter: Meter) -> MeterSpec:
+    """The registry spec for a meter, verified persistable.
+
+    Raises:
+        TypeError: the meter is unregistered or not ``Persistable``
+            (kept a ``TypeError`` — the caller passed a wrong *type*
+            of object, unlike on-disk data errors which are
+            ``ValueError``).
+    """
+    spec = registry.spec_for(meter)
+    if spec is None or not spec.has(Capability.PERSISTABLE):
+        supported = ", ".join(registry.kinds_with(Capability.PERSISTABLE))
+        raise TypeError(
+            f"cannot serialise meter of type {type(meter).__name__}; "
+            f"supported: {supported}"
+        )
+    return spec
 
 
-def meter_to_dict(meter: TrainedMeter) -> dict:
+def meter_to_dict(meter: Meter) -> Dict[str, Any]:
     """The JSON-ready document for a trained meter."""
+    spec = _persistable_spec(meter)
     return {
         "format_version": FORMAT_VERSION,
-        "kind": _kind_of(meter),
+        "kind": spec.kind,
+        "capabilities": spec.capability_names(),
         "model": meter.to_dict(),
     }
 
 
-def meter_from_dict(document: dict) -> TrainedMeter:
-    """Rebuild a meter from :func:`meter_to_dict` output."""
+def meter_from_dict(document: Dict[str, Any]) -> Meter:
+    """Rebuild a meter from :func:`meter_to_dict` output.
+
+    Raises:
+        ValueError: unsupported format version, unknown ``kind``, or a
+            ``kind`` whose registry entry is not ``Persistable``.
+    """
     version = document.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(
@@ -63,17 +82,28 @@ def meter_from_dict(document: dict) -> TrainedMeter:
             f"(this build reads version {FORMAT_VERSION})"
         )
     kind = document.get("kind")
-    if kind not in _KINDS:
+    known = ", ".join(registry.kinds_with(Capability.PERSISTABLE))
+    if not isinstance(kind, str):
+        raise ValueError(f"unknown meter kind {kind!r}; known: {known}")
+    try:
+        spec = registry.get_spec(kind)
+    except ValueError:
         raise ValueError(
-            f"unknown meter kind {kind!r}; known: {', '.join(sorted(_KINDS))}"
+            f"unknown meter kind {kind!r}; known: {known}"
+        ) from None
+    if not spec.has(Capability.PERSISTABLE):
+        raise ValueError(
+            f"meter kind {spec.kind!r} is registered without the "
+            f"persistable capability; loadable kinds: {known}"
         )
-    return _KINDS[kind].from_dict(document["model"])
+    return spec.cls.from_dict(document["model"])
 
 
-def save_meter(meter: TrainedMeter, path: str) -> None:
-    """Write a trained meter to a JSON file."""
+def save_meter(meter: Meter, path: str) -> None:
+    """Write a trained meter to a JSON file (deterministic bytes)."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(meter_to_dict(meter), handle)
+        json.dump(meter_to_dict(meter), handle, sort_keys=True)
+        handle.write("\n")
 
 
 # --- telemetry snapshots ----------------------------------------------------
@@ -120,8 +150,22 @@ def load_telemetry_report(path: str) -> dict:
     return report
 
 
-def load_meter(path: str) -> TrainedMeter:
-    """Read a trained meter back; the concrete class is restored."""
+def load_meter(path: str) -> Meter:
+    """Read a trained meter back; the concrete class is restored.
+
+    Raises:
+        ValueError: the file is not valid JSON or is not a supported
+            meter document (see :func:`meter_from_dict`).
+    """
     with open(path, encoding="utf-8") as handle:
-        document = json.load(handle)
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{path} is not a valid meter file: {error}"
+            ) from error
+    if not isinstance(document, dict):
+        raise ValueError(
+            f"{path} is not a valid meter file: expected a JSON object"
+        )
     return meter_from_dict(document)

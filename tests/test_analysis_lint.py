@@ -46,11 +46,11 @@ def lines_of(source, select=None):
 
 
 class TestRegistry:
-    def test_all_nine_domain_rules_registered(self):
+    def test_all_ten_domain_rules_registered(self):
         assert list(all_rules()) == [
             "FPM001", "FPM002", "FPM003", "FPM004",
             "FPM005", "FPM006", "FPM007", "FPM008",
-            "FPM009",
+            "FPM009", "FPM010",
         ]
 
     def test_descriptions_cover_every_rule(self):
@@ -395,6 +395,70 @@ class TestDirectClock:
             snippet, path="src/repro/core/meter.py", select=["FPM009"]
         )
         assert [v.rule_id for v in flagged] == ["FPM009"]
+
+
+class TestConcreteMeterDispatch:
+    def test_flags_isinstance_against_concrete_meters(self):
+        ids = [rid for rid, _ in lines_of("""
+            def f(meter):
+                if isinstance(meter, FuzzyPSM):
+                    return 1
+                if isinstance(meter, (PCFGMeter, MarkovMeter)):
+                    return 2
+                return 0
+        """, select=["FPM010"])]
+        # One violation per offending class: the tuple form names two.
+        assert ids.count("FPM010") == 3
+
+    def test_flags_dotted_class_references(self):
+        assert "FPM010" in rule_ids_of("""
+            import repro.meters.pcfg as pcfg
+            def f(meter):
+                return isinstance(meter, pcfg.PCFGMeter)
+        """, select=["FPM010"])
+
+    def test_flags_kind_literal_comparisons(self):
+        ids = [rid for rid, _ in lines_of("""
+            def f(kind):
+                if kind == "markov":
+                    return 1
+                if kind in ("pcfg", "fuzzypsm"):
+                    return 2
+                return kind != "zxcvbn"
+        """, select=["FPM010"])]
+        assert ids.count("FPM010") >= 3
+
+    def test_capability_protocol_checks_are_allowed(self):
+        assert rule_ids_of("""
+            from repro.meters.registry import Capability, Updatable
+            def f(meter, spec):
+                return isinstance(meter, Updatable) and spec.has(
+                    Capability.PERSISTABLE
+                )
+        """, select=["FPM010"]) == []
+
+    def test_scenario_kind_ideal_is_allowed(self):
+        # ``ideal`` doubles as a *scenario* kind (the paper's
+        # ideal/real/cross split); comparing it is not meter dispatch.
+        assert rule_ids_of("""
+            def f(scenario):
+                return scenario.kind == "ideal"
+        """, select=["FPM010"]) == []
+
+    def test_registry_module_is_exempt(self):
+        snippet = textwrap.dedent("""
+            def f(kind):
+                return kind == "markov"
+        """)
+        exempt = check_source(
+            snippet, path="src/repro/meters/registry.py",
+            select=["FPM010"],
+        )
+        assert exempt == []
+        flagged = check_source(
+            snippet, path="src/repro/cli.py", select=["FPM010"]
+        )
+        assert [v.rule_id for v in flagged] == ["FPM010"]
 
 
 class TestSuppressions:

@@ -127,6 +127,37 @@ class TestTrainMeasureGuess:
         assert "Markov" in out
 
 
+class TestMeters:
+    SEED_KINDS = (
+        "fuzzypsm", "ideal", "keepsm", "markov", "nist", "pcfg",
+        "zxcvbn",
+    )
+
+    def test_lists_registered_meters(self, capsys):
+        code, out, _ = run_cli(capsys, "meters")
+        assert code == 0
+        assert "registered meters" in out
+        for kind in self.SEED_KINDS:
+            assert kind in out
+        # The capability column uses the registry's value spellings.
+        assert "batch-scorable" in out
+        assert "persistable" in out
+
+    def test_json_listing(self, capsys):
+        import json as json_module
+        code, out, _ = run_cli(capsys, "meters", "--format", "json")
+        assert code == 0
+        listing = json_module.loads(out)
+        assert set(self.SEED_KINDS) <= set(listing)
+        fuzzy = listing["fuzzypsm"]
+        assert fuzzy["capabilities"] == [
+            "batch-scorable", "persistable", "trainable", "updatable",
+        ]
+        assert fuzzy["requires_base_dictionary"] is True
+        assert listing["zxcvbn"]["requires_base_dictionary"] is False
+        assert all(entry["summary"] for entry in listing.values())
+
+
 class TestExperiment:
     def test_small_scenario_run(self, capsys):
         code, out, _ = run_cli(

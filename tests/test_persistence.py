@@ -89,7 +89,7 @@ class TestRoundTrips:
         save_meter(fuzzy, path)
         loaded = load_meter(path)
         before = loaded.probability("brandnew99")
-        loaded.accept("brandnew99", count=5)
+        loaded.update("brandnew99", count=5)
         assert loaded.probability("brandnew99") > before
         # The original is untouched.
         assert fuzzy.probability("brandnew99") == before
@@ -126,3 +126,79 @@ class TestDocumentFormat:
         assert clone.probability("password") == fuzzy.probability(
             "password"
         )
+
+    def test_envelope_carries_capability_list(self, fuzzy, pcfg):
+        assert meter_to_dict(fuzzy)["capabilities"] == [
+            "batch-scorable", "persistable", "trainable", "updatable",
+        ]
+        assert meter_to_dict(pcfg)["capabilities"] == [
+            "batch-scorable", "persistable", "trainable", "updatable",
+        ]
+
+
+class TestDeterministicBytes:
+    def test_save_load_save_is_byte_identical(self, fuzzy, markov,
+                                              tmp_path):
+        for name, meter in [("fuzzy", fuzzy), ("markov", markov)]:
+            first = str(tmp_path / f"{name}-1.json")
+            second = str(tmp_path / f"{name}-2.json")
+            save_meter(meter, first)
+            save_meter(load_meter(first), second)
+            with open(first, "rb") as handle:
+                original = handle.read()
+            with open(second, "rb") as handle:
+                round_tripped = handle.read()
+            assert round_tripped == original
+
+    def test_keys_are_sorted(self, pcfg, tmp_path):
+        path = str(tmp_path / "pcfg.json")
+        save_meter(pcfg, path)
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        assert text.endswith("\n")
+        document = json.loads(text)
+        assert text == json.dumps(document, sort_keys=True) + "\n"
+
+
+class TestLoadErrorPaths:
+    def test_truncated_file(self, pcfg, tmp_path):
+        path = str(tmp_path / "pcfg.json")
+        save_meter(pcfg, path)
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text[: len(text) // 2])
+        with pytest.raises(ValueError, match="not a valid meter file"):
+            load_meter(path)
+
+    def test_non_object_document(self, tmp_path):
+        path = str(tmp_path / "list.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            load_meter(path)
+
+    def test_unknown_kind_names_the_known_ones(self):
+        with pytest.raises(ValueError, match="oracle.*known.*fuzzypsm"):
+            meter_from_dict(
+                {"format_version": 1, "kind": "oracle", "model": {}}
+            )
+
+    def test_non_string_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown meter kind"):
+            meter_from_dict(
+                {"format_version": 1, "kind": 7, "model": {}}
+            )
+
+    def test_non_persistable_kind_rejected(self):
+        # zxcvbn is registered, but without the persistable capability:
+        # the message must say so rather than claim the kind is unknown.
+        with pytest.raises(ValueError,
+                           match="without the.*persistable capability"):
+            meter_from_dict(
+                {"format_version": 1, "kind": "zxcvbn", "model": {}}
+            )
+
+    def test_version_checked_before_kind(self):
+        with pytest.raises(ValueError, match="format version"):
+            meter_from_dict({"kind": "oracle", "model": {}})
