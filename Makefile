@@ -1,4 +1,4 @@
-.PHONY: install test bench examples reproduce lint coverage clean
+.PHONY: install test bench bench-smoke examples reproduce lint coverage clean
 
 install:
 	pip install -e '.[dev]' --no-build-isolation
@@ -10,6 +10,17 @@ test:
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
+
+# CI-sized run of the timing benches: tiny synthetic corpora, every
+# fast-path == reference equivalence assertion still enforced, but
+# speedup thresholds skipped and BENCH_timing.json left untouched
+# (toy-scale ratios are meaningless; see bench_lib.SMOKE).
+bench-smoke:
+	PYTHONPATH=src REPRO_BENCH_SMOKE=1 REPRO_BENCH_CORPUS=800 \
+		REPRO_BENCH_BASE=2000 python -m pytest \
+		benchmarks/test_timing_scoring_engine.py \
+		benchmarks/test_timing_batch_scoring.py \
+		benchmarks/test_timing_measure.py -q
 
 examples:
 	@for script in examples/*.py; do \

@@ -11,6 +11,12 @@ CORPUS_SIZE = int(os.environ.get("REPRO_BENCH_CORPUS", 20_000))
 BASE_SIZE = int(os.environ.get("REPRO_BENCH_BASE", 100_000))
 SEED = 0
 
+#: Smoke mode (``make bench-smoke``): the timing benches still run end
+#: to end and still assert *equivalence* (fast path == reference, bit
+#: for bit), but skip the speedup thresholds — at smoke-sized corpora
+#: the constant overheads dominate and the ratios are meaningless.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
 #: Where the timing benches persist their numbers, so the perf
 #: trajectory is tracked across PRs (one JSON object, merged in place).
 TIMING_RESULTS_PATH = os.path.join(
@@ -32,7 +38,12 @@ def record(name: str, **values) -> None:
     Each bench owns one top-level key; re-running a single bench
     refreshes its entry without clobbering the others.  Floats are
     rounded so diffs across PRs stay readable.
+
+    Smoke runs never persist: their timings are taken at toy scale and
+    would clobber the tracked full-scale numbers.
     """
+    if SMOKE:
+        return
     results = {}
     if os.path.exists(TIMING_RESULTS_PATH):
         with open(TIMING_RESULTS_PATH) as handle:

@@ -27,7 +27,7 @@ from repro.meters.base import Meter
 from repro.meters.registry import TrainContext
 from repro.meters.zxcvbn.frequency_lists import COMMON_PASSWORDS
 
-from bench_lib import emit, record
+from bench_lib import SMOKE, emit, record
 
 #: The Fig. 13 contenders; dict value marks the meters whose override
 #: must beat the base loop (the others inherit it unchanged).
@@ -36,8 +36,8 @@ _SWEEP = {
     "pcfg": True,
     "markov": True,
     "zxcvbn": False,
-    "keepsm": False,
-    "nist": False,
+    "keepsm": True,
+    "nist": True,
 }
 
 
@@ -73,10 +73,12 @@ def test_timing_batch_vs_loop_scoring(corpora, csdn_quarters, capsys):
             f"  {kind:9s} loop {loop_seconds:7.3f} s   "
             f"batch {batch_seconds:7.3f} s   {speedup:5.2f}x"
         )
+        if SMOKE:
+            continue  # equivalence asserted above; ratios are noise
         if must_win:
             assert speedup > 1.2, f"{kind} batch override slower than loop"
         elif kind != "fuzzypsm":
-            # Rule-based meters run the very same base loop twice; any
+            # zxcvbn still runs the very same base loop twice; any
             # drift is machine noise, bounded generously for CI jitter.
             assert 0.25 < speedup < 4.0
 

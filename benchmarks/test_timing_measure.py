@@ -27,7 +27,7 @@ from repro.core.parser import FuzzyParser
 from repro.core.training import train_grammar
 from repro.metrics.guessnumber import MonteCarloEstimator
 
-from bench_lib import emit, record
+from bench_lib import SMOKE, emit, record
 
 
 @pytest.fixture(scope="module")
@@ -62,7 +62,7 @@ def test_timing_measure_single_password(benchmark, meter,
     emit(capsys, f"(timing) one measurement: {mean_seconds * 1e3:.4f} ms "
                  "(paper budget: < 2 ms)")
     record("measure_single", mean_ms=mean_seconds * 1e3)
-    assert mean_seconds < 0.002
+    assert SMOKE or mean_seconds < 0.002
 
 
 def test_timing_training_throughput(benchmark, corpora, csdn_quarters,
@@ -89,7 +89,7 @@ def test_timing_training_throughput(benchmark, corpora, csdn_quarters,
     assert meter.grammar.total_passwords == train.total
     # Same order of magnitude as the paper's figure (pure Python
     # against the authors' C-era constant: allow a generous 60x).
-    assert per_million < 600
+    assert SMOKE or per_million < 600
 
 
 def test_timing_update_phase(benchmark, meter, capsys):
@@ -103,7 +103,7 @@ def test_timing_update_phase(benchmark, meter, capsys):
     mean_seconds = benchmark.stats["mean"]
     emit(capsys, f"(timing) one update: {mean_seconds * 1e6:.1f} us")
     # The update phase must stay interactive (well under measuring).
-    assert mean_seconds < 0.002
+    assert SMOKE or mean_seconds < 0.002
 
 
 def test_timing_monte_carlo_estimation(benchmark, meter, capsys):
@@ -123,7 +123,7 @@ def test_timing_monte_carlo_estimation(benchmark, meter, capsys):
     emit(capsys, f"(timing) one guess-number lookup: "
                  f"{mean_seconds * 1e6:.2f} us")
     # Lookups are binary searches; they must be micro-second scale.
-    assert mean_seconds < 0.001
+    assert SMOKE or mean_seconds < 0.001
 
 
 # --- performance layer (compiled trie / batch / parallel) -----------------
@@ -167,7 +167,7 @@ def test_timing_bulk_vs_single_measuring(meter, csdn_quarters, capsys):
     record("measure_bulk_vs_single", stream=len(stream),
            distinct=distinct, single_seconds=single_seconds,
            bulk_seconds=bulk_seconds, speedup=speedup)
-    assert speedup >= 2.0
+    assert SMOKE or speedup >= 2.0
 
 
 def test_timing_compiled_vs_pointer_parse(meter, csdn_quarters, capsys):
@@ -298,4 +298,4 @@ def test_timing_telemetry_overhead(meter, csdn_quarters, capsys):
            enabled_ratio=enabled_ratio)
     # Generous 1.15x ceiling against CI jitter; the recorded numbers
     # carry the real (<5%) figure.
-    assert enabled_ratio < 1.15
+    assert SMOKE or enabled_ratio < 1.15

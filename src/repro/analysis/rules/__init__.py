@@ -13,7 +13,10 @@ family they protect:
 * :mod:`~repro.analysis.rules.timing` — FPM009, the injectable
   telemetry clock as the only wall-clock source;
 * :mod:`~repro.analysis.rules.dispatch` — FPM010, meter dispatch via
-  the capability registry, never concrete classes or kind literals.
+  the capability registry, never concrete classes or kind literals;
+* :mod:`~repro.analysis.rules.tables` — FPM011, grammar count tables
+  normalised only inside grammar.py / frozen.py (the two kernels
+  proven bit-identical to each other).
 """
 
 from repro.analysis.rules import (
@@ -21,7 +24,11 @@ from repro.analysis.rules import (
     dispatch,
     hygiene,
     probability,
+    tables,
     timing,
 )
 
-__all__ = ["determinism", "dispatch", "hygiene", "probability", "timing"]
+__all__ = [
+    "determinism", "dispatch", "hygiene", "probability", "tables",
+    "timing",
+]

@@ -32,6 +32,7 @@ BLESSED_PRODUCT_SCOPES = frozenset(
     {
         "FuzzyGrammar.segment_probability",
         "FuzzyGrammar.derivation_probability",
+        "FrozenGrammar.derivation_probability",
         "PCFGMeter.probability",
         "PCFGMeter.sample",
         "MarkovMeter.probability",

@@ -1,0 +1,102 @@
+"""Grammar-table encapsulation rule (scoring-kernel integrity).
+
+The fuzzy grammar's count tables (``structures``, ``terminals``,
+``capitalization``, ``leet``, ``reverse``, ``allcaps``) have *two*
+blessed probability views that are proven bit-identical to each other:
+the :class:`~repro.core.grammar.FuzzyGrammar` ``*_probability``
+methods (which encode the sentinel semantics — e.g. a never-trained
+``reverse`` table is a certainty factor, not 0.0) and the compiled
+:class:`~repro.core.frozen.FrozenGrammar` snapshot.
+
+Code elsewhere that reaches *through* a grammar into a table and calls
+``.probability(...)`` / ``.smoothed_probability(...)`` directly gets
+neither guarantee: it silently skips the sentinel handling and
+bypasses the frozen kernel, so its numbers drift from what the meter
+reports.  FPM011 turns that reach-through into a lint failure.
+
+Reading table *counts* (``.count``, ``.total``, ``.items``,
+``.most_common``) stays allowed everywhere — counts are the grammar's
+public currency (serialisation, enumeration, reporting); it is the
+probability *normalisation* that must stay in the two kernels.
+
+Exempt by file: ``grammar.py`` (the tables' home) and ``frozen.py``
+(the compiled snapshot of them).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import Rule
+from repro.analysis.registry import register
+
+#: The FuzzyGrammar count-table attribute names.
+_TABLE_ATTRIBUTES = frozenset(
+    {
+        "structures",
+        "terminals",
+        "capitalization",
+        "leet",
+        "reverse",
+        "allcaps",
+    }
+)
+
+#: FrequencyDistribution methods that normalise counts into
+#: probabilities — the operation reserved to the blessed kernels.
+_PROBABILITY_METHODS = frozenset({"probability", "smoothed_probability"})
+
+#: File names allowed to normalise grammar tables directly.
+_EXEMPT_FILES = frozenset({"grammar.py", "frozen.py"})
+
+
+def _table_attribute(node: ast.AST) -> bool:
+    """Does ``node`` read a grammar table (directly or subscripted)?
+
+    Matches ``<obj>.terminals`` and ``<obj>.leet[rule]`` shapes — the
+    attribute read is what identifies the table; the subscript covers
+    the per-length terminal and per-rule leet dictionaries.
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr in _TABLE_ATTRIBUTES
+    )
+
+
+@register
+class GrammarTableAccessRule(Rule):
+    """FPM011: no direct grammar-table probability reads outside the
+    grammar and its frozen snapshot."""
+
+    rule_id = "FPM011"
+    name = "grammar-table-access"
+    summary = (
+        "calling .probability()/.smoothed_probability() on a grammar "
+        "count table outside grammar.py/frozen.py bypasses the "
+        "sentinel semantics and the frozen kernel; go through "
+        "FuzzyGrammar.*_probability or FrozenGrammar"
+    )
+
+    def check(self, tree: ast.Module) -> None:
+        segments = re.split(r"[\\/]", self.context.path)
+        if segments and segments[-1] in _EXEMPT_FILES:
+            return
+        self.visit(tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _PROBABILITY_METHODS
+            and _table_attribute(func.value)
+        ):
+            self.report(
+                node,
+                f"direct {func.attr}() on a grammar count table; use "
+                "the FuzzyGrammar *_probability methods (sentinel "
+                "semantics) or a FrozenGrammar snapshot instead",
+            )
+        self.generic_visit(node)

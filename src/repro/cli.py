@@ -114,12 +114,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="walk the pointer trie instead of the compiled "
              "flat-array trie (fuzzyPSM escape hatch)",
     )
+    train.add_argument(
+        "--parse-cache-size", type=int, default=None, metavar="N",
+        help="capacity of the LRU parse cache used for bulk scoring "
+             "(fuzzyPSM; default 65536)",
+    )
     train.add_argument("--output", "-o", required=True)
 
     measure = commands.add_parser(
         "measure", help="measure passwords with a saved model"
     )
     measure.add_argument("--model", required=True)
+    measure.add_argument(
+        "--score-jobs", type=int, default=None, metavar="N",
+        help="score across N worker processes (parallel-scorable "
+             "meters; results are identical to serial scoring)",
+    )
     measure.add_argument("passwords", nargs="*",
                          help="passwords (stdin lines when omitted)")
 
@@ -150,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
                             default=120_000)
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--min-frequency", type=int, default=4)
+    experiment.add_argument(
+        "--score-jobs", type=int, default=None, metavar="N",
+        help="bulk-score across N worker processes for meters with "
+             "the parallel-scorable capability",
+    )
     experiment.add_argument(
         "--seeds",
         help="comma-separated seeds for a robustness sweep "
@@ -207,6 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for the training stage",
+    )
+    profile.add_argument(
+        "--score-jobs", type=int, default=None, metavar="N",
+        help="worker processes for the scoring stage",
+    )
+    profile.add_argument(
+        "--parse-cache-size", type=int, default=None, metavar="N",
+        help="capacity of the LRU parse cache (telemetry mode)",
     )
     profile.add_argument(
         "--format", dest="output_format",
@@ -300,6 +323,13 @@ def _train_context(args: argparse.Namespace,
     and ignores the rest, so one context trains any ``--kind``.
     """
     from repro.core.meter import FuzzyPSMConfig
+    fuzzy_options = {
+        "allow_reverse": args.allow_reverse,
+        "allow_allcaps": args.allow_allcaps,
+        "use_compiled_trie": not args.no_compile,
+    }
+    if args.parse_cache_size is not None:
+        fuzzy_options["parse_cache_size"] = args.parse_cache_size
     return TrainContext(
         training=tuple(training_items),
         base_dictionary=tuple(base_dictionary),
@@ -307,11 +337,7 @@ def _train_context(args: argparse.Namespace,
             "markov_order": args.order,
             "markov_smoothing": Smoothing(args.smoothing),
             "jobs": args.jobs,
-            "fuzzy_config": FuzzyPSMConfig(
-                allow_reverse=args.allow_reverse,
-                allow_allcaps=args.allow_allcaps,
-                use_compiled_trie=not args.no_compile,
-            ),
+            "fuzzy_config": FuzzyPSMConfig(**fuzzy_options),
         },
     )
 
@@ -336,6 +362,25 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _score_stream(meter, passwords: Sequence[str],
+                  score_jobs: Optional[int]) -> List[float]:
+    """Bulk-score via the registry capability, never a concrete type.
+
+    ``--score-jobs`` only reaches meters whose spec declares the
+    parallel-scorable capability; everything else scores serially —
+    the flag degrades gracefully instead of erroring on, say, a saved
+    Markov model.
+    """
+    spec = registry.spec_for(meter)
+    if (
+        score_jobs is not None
+        and spec is not None
+        and spec.has(Capability.PARALLEL_SCORABLE)
+    ):
+        return meter.probability_many(passwords, jobs=score_jobs)
+    return meter.probability_many(passwords)
+
+
 def _cmd_measure(args: argparse.Namespace) -> int:
     meter = load_meter(args.model)
     passwords: Sequence[str] = args.passwords or [
@@ -343,7 +388,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     ]
     # One batched pass: meters with vectorised overrides (fuzzyPSM's
     # parse cache, the PCFG/Markov memos) score repeats only once.
-    probabilities = meter.probability_many(passwords)
+    probabilities = _score_stream(meter, passwords, args.score_jobs)
     print(format_table(
         ["password", "probability", "entropy(bits)"],
         [
@@ -411,6 +456,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         corpus_size=args.corpus_size,
         base_corpus_size=args.base_corpus_size,
         seed=args.seed,
+        score_jobs=args.score_jobs,
     )
     chosen = scenario(args.scenario)
     if args.seeds:
@@ -541,6 +587,12 @@ def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
     training = load_corpus(args.train_corpus)
     stream_corpus = load_corpus(args.stream)
     stream = list(stream_corpus.expand())
+    options = {"jobs": args.jobs}
+    if args.parse_cache_size is not None:
+        from repro.core.meter import FuzzyPSMConfig
+        options["fuzzy_config"] = FuzzyPSMConfig(
+            parse_cache_size=args.parse_cache_size
+        )
     with obs.session() as telemetry:
         with telemetry.timer("profile.load.seconds"):
             base_dictionary = base.unique_passwords()
@@ -551,13 +603,21 @@ def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
                 TrainContext(
                     training=tuple(training_items),
                     base_dictionary=tuple(base_dictionary),
-                    options={"jobs": args.jobs},
+                    options=options,
                 ),
             )
         with telemetry.timer("profile.score.seconds"):
             for _ in range(max(1, args.repeat)):
-                meter.probability_many(stream)
-        report = build_report(telemetry.snapshot())
+                _score_stream(meter, stream, args.score_jobs)
+        # Structural cache state (occupancy/capacity) complements the
+        # hit/miss/evict counters that live in the telemetry snapshot.
+        parser = getattr(meter, "parser", None)
+        report = build_report(
+            telemetry.snapshot(),
+            parse_cache_info=(
+                parser.cache_info() if parser is not None else None
+            ),
+        )
     report["workload"] = {
         "base": args.base,
         "train": args.train_corpus,
@@ -566,6 +626,7 @@ def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
         "stream_distinct": stream_corpus.unique,
         "repeat": max(1, args.repeat),
         "jobs": args.jobs,
+        "score_jobs": args.score_jobs,
     }
     if args.output:
         save_telemetry_report(report, args.output)

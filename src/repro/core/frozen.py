@@ -1,0 +1,237 @@
+"""The frozen scoring kernel: a :class:`FuzzyGrammar` compiled flat.
+
+:meth:`FuzzyGrammar.derivation_probability` walks dict-of-
+:class:`~repro.util.freqdist.FrequencyDistribution` tables: every
+factor of the product (Fig. 11 of the paper) pays a method call, a
+dict probe and a division, and every leet factor additionally re-derives
+its rule name from the character (two dict probes plus an f-string).
+That layout is right for *training* — tables mutate on every observed
+password — but evaluation sweeps score millions of passwords against a
+grammar that does not change between updates.
+
+:class:`FrozenGrammar` is the read-only snapshot for that regime.  At
+freeze time every table is compiled once:
+
+* **structures** — one ``structure -> probability`` map (the division
+  is paid per distinct structure, not per score);
+* **terminals** — per segment length, an interned index
+  (``base -> i``) plus a flat ``array('d')`` of probabilities and, per
+  interned terminal, the precomputed ``(offset, leet-rule)`` run so
+  scoring never re-derives which rule a character belongs to;
+* **capitalization / reverse / allcaps** — two-entry ``(No, Yes)``
+  tuples indexed directly by the derivation's booleans, with the
+  legacy-grammar sentinel semantics of
+  :meth:`FuzzyGrammar.reverse_probability` baked in;
+* **leet** — six ``(No, Yes)`` pairs indexed by rule number.
+
+Scoring a parsed derivation is then pure indexing — but the
+*multiplication order* of :meth:`FuzzyGrammar.derivation_probability`
+is preserved factor for factor, so frozen scores are bit-identical to
+the dict path (asserted by ``tests/test_scoring_parallel.py``).  This
+makes :meth:`FrozenGrammar.derivation_probability` a blessed FPM002
+product kernel: like the dict path it short-circuits on exact zero, so
+the underflow window stays bounded by one password's factor count.
+
+A snapshot records the grammar's :attr:`~FuzzyGrammar.epoch` at build
+time.  The update phase (``FuzzyPSM.update`` → ``observe``) bumps the
+epoch, so holders compare ``frozen.epoch != grammar.epoch`` and lazily
+rebuild — the paper's adaptive update loop stays correct without
+eagerly recompiling on every accepted password.
+
+The snapshot holds only dicts, tuples and flat arrays, so it pickles
+cheaply into ``multiprocessing`` workers — the broadcast half of the
+parallel scoring engine (DESIGN.md §11).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.grammar import Derivation, FuzzyGrammar, Structure
+from repro.util.freqdist import FrequencyDistribution
+from repro.util.leet import LEET_BY_LETTER, LEET_RULE_NAMES
+
+#: character -> leet rule number (0-based), both directions of a pair;
+#: mirrors :func:`repro.core.grammar.leet_rule_for_char` without the
+#: per-call string work.
+_LEET_RULE_INDEX: Dict[str, int] = {}
+for _index, _letter in enumerate("asoiet"):
+    _LEET_RULE_INDEX[_letter] = _index
+    _LEET_RULE_INDEX[LEET_BY_LETTER[_letter]] = _index
+del _index, _letter
+
+#: One ``(No, Yes)`` probability pair, indexed by a rule's fired flag.
+_Pair = Tuple[float, float]
+
+#: The precomputed leet run of one terminal: ``(offset, rule)`` for
+#: every stored character that belongs to a leet pair, in offset order.
+_LeetRun = Tuple[Tuple[int, int], ...]
+
+
+def _pair(dist: "FrequencyDistribution[bool]") -> _Pair:
+    """``(P(No), P(Yes))`` with plain maximum-likelihood semantics."""
+    return (dist.probability(False), dist.probability(True))
+
+
+def _sentinel_pair(dist: "FrequencyDistribution[bool]") -> _Pair:
+    """``(P(No), P(Yes))`` with the never-trained no-op sentinel.
+
+    Matches :meth:`FuzzyGrammar.reverse_probability` /
+    ``allcaps_probability``: an empty table is a certainty factor.
+    """
+    if dist.total == 0:
+        return (1.0, 0.0)
+    return _pair(dist)
+
+
+class FrozenGrammar:
+    """Immutable flat-table snapshot of a :class:`FuzzyGrammar`.
+
+    >>> from repro.core.grammar import DerivedSegment
+    >>> grammar = FuzzyGrammar()
+    >>> derivation = Derivation((DerivedSegment("password"),))
+    >>> grammar.observe(derivation)
+    >>> frozen = FrozenGrammar(grammar)
+    >>> frozen.derivation_probability(derivation) == \
+            grammar.derivation_probability(derivation)
+    True
+    >>> frozen.epoch == grammar.epoch
+    True
+    """
+
+    __slots__ = (
+        "epoch", "_structures", "_terminals", "_capitalization",
+        "_reverse", "_allcaps", "_leet",
+    )
+
+    def __init__(self, grammar: FuzzyGrammar) -> None:
+        self.epoch: int = grammar.epoch
+        structure_total = grammar.structures.total
+        self._structures: Dict[Structure, float] = (
+            {
+                structure: count / structure_total
+                for structure, count in grammar.structures.items()
+            }
+            if structure_total
+            else {}
+        )
+        self._terminals: Dict[
+            int,
+            Tuple[Dict[str, int], "array[float]", Tuple[_LeetRun, ...]],
+        ] = {}
+        for length, table in grammar.terminals.items():
+            total = table.total
+            index: Dict[str, int] = {}
+            probabilities = array("d")
+            runs: List[_LeetRun] = []
+            for base, count in table.items():
+                index[base] = len(probabilities)
+                probabilities.append(count / total)
+                runs.append(
+                    tuple(
+                        (offset, _LEET_RULE_INDEX[ch])
+                        for offset, ch in enumerate(base)
+                        if ch in _LEET_RULE_INDEX
+                    )
+                )
+            self._terminals[length] = (index, probabilities, tuple(runs))
+        self._capitalization: _Pair = _pair(grammar.capitalization)
+        self._reverse: _Pair = _sentinel_pair(grammar.reverse)
+        self._allcaps: _Pair = _sentinel_pair(grammar.allcaps)
+        self._leet: Tuple[_Pair, ...] = tuple(
+            _pair(grammar.leet[name]) for name in LEET_RULE_NAMES
+        )
+
+    # --- scoring -------------------------------------------------------
+
+    def structure_probability(self, structure: Structure) -> float:
+        """Same value as :meth:`FuzzyGrammar.structure_probability`."""
+        return self._structures.get(structure, 0.0)
+
+    def terminal_probability(self, base: str) -> float:
+        """Same value as :meth:`FuzzyGrammar.terminal_probability`."""
+        entry = self._terminals.get(len(base))
+        if entry is None:
+            return 0.0
+        index = entry[0].get(base)
+        if index is None:
+            return 0.0
+        return entry[1][index]
+
+    def derivation_probability(self, derivation: Derivation) -> float:
+        """Bit-identical fast path of the Fig.-11 product.
+
+        Every multiplication of
+        :meth:`FuzzyGrammar.derivation_probability` (via
+        ``segment_probability``) happens here with the same factor
+        values, in the same order, into the same accumulators — only
+        the table lookups are compiled away.
+        """
+        probability = self._structures.get(derivation.structure, 0.0)
+        terminals = self._terminals
+        capitalization = self._capitalization
+        reverse = self._reverse
+        allcaps = self._allcaps
+        leet = self._leet
+        for segment in derivation.segments:
+            if probability == 0.0:
+                return 0.0
+            base = segment.base
+            entry = terminals.get(len(base))
+            index = entry[0].get(base) if entry is not None else None
+            if entry is None or index is None:
+                # The dict path's zero terminal factor, multiplied in.
+                probability *= 0.0
+                continue
+            seg_probability = entry[1][index]
+            seg_probability *= capitalization[segment.capitalized]
+            seg_probability *= reverse[segment.reversed_word]
+            seg_probability *= allcaps[segment.all_caps]
+            toggled = segment.toggled_offsets
+            if toggled:
+                toggled_set = set(toggled)
+                for offset, rule in entry[2][index]:
+                    seg_probability *= leet[rule][offset in toggled_set]
+            else:
+                for _offset, rule in entry[2][index]:
+                    seg_probability *= leet[rule][0]
+            probability *= seg_probability
+        return probability
+
+    # --- introspection -------------------------------------------------
+
+    @property
+    def structure_count(self) -> int:
+        """Number of distinct base structures in the snapshot."""
+        return len(self._structures)
+
+    @property
+    def terminal_count(self) -> int:
+        """Number of interned terminals across every length table."""
+        return sum(len(entry[0]) for entry in self._terminals.values())
+
+    def is_current(self, grammar: FuzzyGrammar) -> bool:
+        """True while the snapshot still reflects ``grammar`` exactly."""
+        return self.epoch == grammar.epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrozenGrammar(epoch={self.epoch}, "
+            f"structures={self.structure_count}, "
+            f"terminals={self.terminal_count})"
+        )
+
+
+def freeze(grammar: FuzzyGrammar,
+           stale: Optional[FrozenGrammar] = None) -> FrozenGrammar:
+    """Snapshot ``grammar``, reusing ``stale`` when still current.
+
+    The lazy-invalidation helper: callers hold one snapshot and call
+    ``freeze(grammar, snapshot)`` before scoring; a snapshot taken at
+    the grammar's current epoch is returned as-is, anything else is
+    rebuilt.
+    """
+    if stale is not None and stale.is_current(grammar):
+        return stale
+    return FrozenGrammar(grammar)

@@ -156,6 +156,12 @@ class FuzzyGrammar:
     """
 
     def __init__(self) -> None:
+        #: Mutation counter: bumped by :meth:`observe` and :meth:`merge`
+        #: (the two mutation verbs of the training/update lifecycle), so
+        #: derived snapshots — the :class:`~repro.core.frozen.FrozenGrammar`
+        #: scoring kernel — can detect staleness lazily instead of being
+        #: invalidated eagerly on every accepted password.
+        self._epoch = 0
         self.structures: FrequencyDistribution[Structure] = FrequencyDistribution()
         self.terminals: Dict[int, FrequencyDistribution[str]] = {}
         self.capitalization: FrequencyDistribution[bool] = FrequencyDistribution()
@@ -173,8 +179,15 @@ class FuzzyGrammar:
 
     # --- observation (training / update) ------------------------------
 
+    @property
+    def epoch(self) -> int:
+        """Monotone mutation counter (see ``__init__``); snapshots
+        taken at epoch ``e`` are exact until the epoch moves past ``e``."""
+        return self._epoch
+
     def observe(self, derivation: Derivation, count: int = 1) -> None:
         """Record one training password's derivation into the tables."""
+        self._epoch += 1
         self.structures.add(derivation.structure, count)
         for segment in derivation.segments:
             table = self.terminals.setdefault(
@@ -201,6 +214,7 @@ class FuzzyGrammar:
         over the whole corpus.  This is the reduction step of
         ``train_grammar(..., jobs=N)``.
         """
+        self._epoch += 1
         self.structures.merge(other.structures)
         for length, table in other.terminals.items():
             own = self.terminals.setdefault(length, FrequencyDistribution())

@@ -16,12 +16,16 @@ tool, paper footnote 6) and be sampled for Monte-Carlo guess numbers.
 
 from __future__ import annotations
 
+import multiprocessing
 import random
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro import obs
+from repro.obs.core import now as _now
+from repro.core.compiled_trie import CompiledTrie
+from repro.core.frozen import FrozenGrammar
 from repro.core.grammar import (
     Derivation,
     DerivedSegment,
@@ -29,10 +33,14 @@ from repro.core.grammar import (
     leet_rule_for_char,
     structure_label,
 )
-from repro.core.parser import FuzzyParser, ParsedPassword
+from repro.core.parser import (
+    DEFAULT_PARSE_CACHE_SIZE,
+    FuzzyParser,
+    ParsedPassword,
+)
 from repro.core.training import PasswordEntry, build_base_trie, train_grammar
 from repro.core.trie import PrefixTrie
-from repro.meters.base import ProbabilisticMeter
+from repro.meters.base import ProbabilisticMeter, probability_to_entropy
 from repro.meters.registry import Capability, TrainContext, register_meter
 from repro.metrics.enumeration import (
     LazyDescendingList,
@@ -67,6 +75,11 @@ class FuzzyPSMConfig:
             instead of walking pointer-trie nodes (``--no-compile`` on
             the CLI turns this off).  Purely an execution-strategy
             switch — parses are bit-for-bit identical either way.
+        parse_cache_size: capacity of the parser's LRU parse cache
+            (``--parse-cache-size`` on the CLI).  Bulk scoring of
+            Zipf-shaped streams hits this cache for the popular head;
+            raise it for wide sweeps, shrink it for memory-constrained
+            deployments.  Another pure execution-strategy knob.
     """
 
     min_base_length: int = 3
@@ -76,6 +89,7 @@ class FuzzyPSMConfig:
     allow_allcaps: bool = False
     auto_update: bool = False
     use_compiled_trie: bool = True
+    parse_cache_size: int = DEFAULT_PARSE_CACHE_SIZE
 
 
 @dataclass(frozen=True)
@@ -107,7 +121,70 @@ def _build_parser(trie: PrefixTrie, config: FuzzyPSMConfig) -> FuzzyParser:
         allow_reverse=config.allow_reverse,
         allow_allcaps=config.allow_allcaps,
         use_compiled=config.use_compiled_trie,
+        parse_cache_size=config.parse_cache_size,
     )
+
+
+#: Distinct-password cutoff below which ``jobs > 1`` still scores
+#: serially.  Spawning a pool costs a fixed fork + broadcast price
+#: (compiled matchers and the frozen grammar pickle into every worker),
+#: so small batches — where the serial frozen-kernel path finishes in
+#: milliseconds — must not pay it.  Mirrors the training fallback
+#: (:data:`repro.core.training.PARALLEL_MIN_ENTRIES`); pass
+#: ``parallel_threshold`` to :meth:`FuzzyPSM.probability_many` to
+#: override (tests and tuning).
+PARALLEL_MIN_DISTINCT = 10_000
+
+#: Per-worker scoring state, installed once by ``_score_worker_init``
+#: so every chunk mapped to that worker reuses the same compiled
+#: matchers and frozen grammar.
+_SCORE_PARSER: Optional[FuzzyParser] = None
+_SCORE_FROZEN: Optional[FrozenGrammar] = None
+
+
+def _score_worker_init(
+    forward: CompiledTrie,
+    reversed_matcher: Optional[CompiledTrie],
+    min_length: int,
+    flags: Dict[str, bool],
+    parse_cache_size: int,
+    frozen: FrozenGrammar,
+) -> None:
+    """Process-pool initialiser: receive the scoring state **once**.
+
+    Workers get the flat-array :class:`CompiledTrie` snapshots and the
+    :class:`FrozenGrammar` at pool start-up instead of per task — the
+    broadcast half of the protocol in DESIGN.md §11.  Nothing here
+    re-walks a pointer trie or re-divides a count table.
+    """
+    global _SCORE_PARSER, _SCORE_FROZEN
+    _SCORE_PARSER = FuzzyParser.from_compiled(
+        forward, reversed_matcher, min_length, flags,
+        parse_cache_size=parse_cache_size,
+    )
+    _SCORE_FROZEN = frozen
+
+
+def _score_chunk(chunk: List[str]) -> Tuple[List[float], float]:
+    """Score one chunk of *distinct* passwords in a worker.
+
+    Returns the scores plus the worker-side seconds: the parent's
+    telemetry backend cannot see into pool processes, so each chunk
+    ships its own timing home for the ``meter.parallel.chunk.seconds``
+    histogram (same pattern as training's ``train.chunk.seconds``).
+    """
+    parser = _SCORE_PARSER
+    frozen = _SCORE_FROZEN
+    assert parser is not None and frozen is not None, \
+        "_score_worker_init did not run"
+    start = _now()
+    parse = parser.parse
+    score = frozen.derivation_probability
+    values = [
+        score(parse(password).to_derivation()) if password else 0.0
+        for password in chunk
+    ]
+    return values, _now() - start
 
 
 def _build_fuzzypsm(cls: type, context: TrainContext) -> "FuzzyPSM":
@@ -127,6 +204,7 @@ def _build_fuzzypsm(cls: type, context: TrainContext) -> "FuzzyPSM":
         Capability.TRAINABLE,
         Capability.UPDATABLE,
         Capability.BATCH_SCORABLE,
+        Capability.PARALLEL_SCORABLE,
         Capability.PERSISTABLE,
     ),
     summary="The paper's fuzzy-PCFG meter with an online update phase",
@@ -153,6 +231,9 @@ class FuzzyPSM(ProbabilisticMeter):
         # state (keyed on the word count) and shared by every
         # ``to_dict`` call — see :meth:`base_words`.
         self._base_words: Optional[List[str]] = None
+        # Frozen scoring snapshot, built lazily by :meth:`frozen_grammar`
+        # and invalidated by the grammar's epoch counter.
+        self._frozen: Optional[FrozenGrammar] = None
 
     # --- construction -------------------------------------------------
 
@@ -195,6 +276,30 @@ class FuzzyPSM(ProbabilisticMeter):
     def config(self) -> FuzzyPSMConfig:
         return self._config
 
+    @property
+    def parser(self) -> FuzzyParser:
+        """The meter's deterministic parser (for cache introspection)."""
+        return self._parser
+
+    def frozen_grammar(self) -> FrozenGrammar:
+        """The compiled scoring snapshot, current as of this call.
+
+        Built lazily and cached; the grammar's epoch counter (bumped by
+        :meth:`update` / training merges) invalidates it, so the update
+        phase never scores against stale tables.  Scores from the
+        snapshot are bit-identical to
+        :meth:`FuzzyGrammar.derivation_probability`.
+        """
+        frozen = self._frozen
+        if frozen is None or frozen.epoch != self._grammar.epoch:
+            telemetry = obs.get()
+            with telemetry.timer("meter.frozen.build.seconds"):
+                frozen = FrozenGrammar(self._grammar)
+            self._frozen = frozen
+            if telemetry.enabled:
+                telemetry.incr("meter.frozen.builds")
+        return frozen
+
     # --- measuring -------------------------------------------------------
 
     def parse(self, password: str) -> ParsedPassword:
@@ -221,13 +326,33 @@ class FuzzyPSM(ProbabilisticMeter):
             self._grammar.observe(parsed.to_derivation())
         return probability
 
-    def probability_many(self, passwords: Iterable[str]) -> List[float]:
+    def probability_many(
+        self,
+        passwords: Iterable[str],
+        jobs: Optional[int] = None,
+        parallel_threshold: Optional[int] = None,
+    ) -> List[float]:
         """Bulk :meth:`probability`, returning one value per input.
 
         Real password streams are heavily repetitive (Zipf-shaped), so
-        bulk scoring routes parses through the parser's LRU cache and
+        bulk scoring routes parses through the parser's LRU cache,
         memoises the final probability per distinct password within the
-        batch.  Results are exactly the per-call values, in order.
+        batch, and evaluates derivations against the frozen scoring
+        kernel (:meth:`frozen_grammar`).  Results are exactly the
+        per-call values, in order.
+
+        Args:
+            passwords: the stream to score.
+            jobs: worker processes; ``None``/``0``/``1`` score in this
+                process.  ``N > 1`` deduplicates the stream and fans
+                chunks of distinct passwords to a pool whose workers
+                receive the compiled matchers + frozen grammar once at
+                start-up.  Batches with fewer distinct passwords than
+                the threshold — or meters parsing without the compiled
+                trie — fall back to the serial path automatically
+                (``meter.parallel.fallback.serial``).
+            parallel_threshold: distinct-count cutoff for that fallback
+                (default :data:`PARALLEL_MIN_DISTINCT`).
 
         With ``auto_update`` on, every measurement mutates the grammar,
         so each value depends on all earlier ones — that mode falls
@@ -236,8 +361,26 @@ class FuzzyPSM(ProbabilisticMeter):
         if self._config.auto_update:
             return [self.probability(pw) for pw in passwords]
         telemetry = obs.get()
-        grammar = self._grammar
+        if jobs is not None and jobs > 1:
+            stream = list(passwords)
+            distinct = list(dict.fromkeys(stream))
+            threshold = (
+                PARALLEL_MIN_DISTINCT if parallel_threshold is None
+                else parallel_threshold
+            )
+            if (
+                len(distinct) >= threshold
+                and self._config.use_compiled_trie
+            ):
+                return self._probability_many_parallel(
+                    stream, distinct, jobs
+                )
+            if telemetry.enabled:
+                telemetry.incr("meter.parallel.fallback.serial")
+            passwords = stream
+        frozen = self.frozen_grammar()
         parse = self._parser.parse_cached
+        score = frozen.derivation_probability
         batch: Dict[str, float] = {}
         out: List[float] = []
         # Probes stay at batch granularity: per-item telemetry in this
@@ -248,7 +391,7 @@ class FuzzyPSM(ProbabilisticMeter):
                 probability = batch.get(password)
                 if probability is None:
                     if password:
-                        probability = grammar.derivation_probability(
+                        probability = score(
                             parse(password).to_derivation()
                         )
                     else:
@@ -261,6 +404,73 @@ class FuzzyPSM(ProbabilisticMeter):
             telemetry.incr("meter.batch.distinct", len(batch))
             telemetry.observe("meter.batch.size", float(len(out)))
         return out
+
+    def entropy_many(
+        self,
+        passwords: Iterable[str],
+        jobs: Optional[int] = None,
+        parallel_threshold: Optional[int] = None,
+    ) -> List[float]:
+        """Batch :meth:`entropy`, sharing the bulk/parallel machinery."""
+        return [
+            probability_to_entropy(probability)
+            for probability in self.probability_many(
+                passwords, jobs=jobs, parallel_threshold=parallel_threshold
+            )
+        ]
+
+    def _probability_many_parallel(
+        self, stream: List[str], distinct: List[str], jobs: int
+    ) -> List[float]:
+        """Fan distinct passwords to a scoring pool; reassemble in order.
+
+        The expensive work — parse + frozen-kernel evaluation — is done
+        once per *distinct* password in the pool; the (typically much
+        longer) stream is then reassembled by dict lookup in the
+        parent.  Workers never see the pointer trie or the count-table
+        grammar: the pool initializer broadcasts the compiled matchers
+        and the frozen snapshot exactly once per worker.
+        """
+        telemetry = obs.get()
+        forward, reversed_matcher = self._parser.ensure_compiled_matchers()
+        frozen = self.frozen_grammar()
+        # A few chunks per worker smooths over uneven parse costs
+        # without inflating per-chunk pickling overhead (same shape as
+        # parallel training).
+        chunk_count = min(jobs * 4, len(distinct))
+        step = -(-len(distinct) // chunk_count)
+        chunks = [
+            distinct[i:i + step] for i in range(0, len(distinct), step)
+        ]
+        scores: Dict[str, float] = {}
+        with telemetry.timer("meter.parallel.seconds"):
+            with multiprocessing.Pool(
+                processes=jobs,
+                initializer=_score_worker_init,
+                initargs=(
+                    forward,
+                    reversed_matcher,
+                    self._trie.min_length,
+                    self._parser.flags,
+                    self._config.parse_cache_size,
+                    frozen,
+                ),
+            ) as pool:
+                for chunk, (values, chunk_seconds) in zip(
+                    chunks, pool.imap(_score_chunk, chunks)
+                ):
+                    if telemetry.enabled:
+                        telemetry.observe(
+                            "meter.parallel.chunk.seconds", chunk_seconds
+                        )
+                    for password, value in zip(chunk, values):
+                        scores[password] = value
+        if telemetry.enabled:
+            telemetry.incr("meter.parallel.calls")
+            telemetry.incr("meter.parallel.scores", len(stream))
+            telemetry.incr("meter.parallel.distinct", len(distinct))
+            telemetry.observe("meter.parallel.size", float(len(stream)))
+        return [scores[password] for password in stream]
 
     def explain(self, password: str) -> Explanation:
         """A structured account of how the password was derived."""
@@ -345,6 +555,7 @@ class FuzzyPSM(ProbabilisticMeter):
                 "allow_allcaps": self._config.allow_allcaps,
                 "auto_update": self._config.auto_update,
                 "use_compiled_trie": self._config.use_compiled_trie,
+                "parse_cache_size": self._config.parse_cache_size,
             },
             "base_words": self.base_words(),
             "grammar": self._grammar.to_dict(),

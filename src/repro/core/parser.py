@@ -245,12 +245,88 @@ class FuzzyParser:
             self._allow_reverse, self._allow_allcaps,
         )
 
+    def cache_info(self) -> Dict[str, int]:
+        """Occupancy and capacity of the LRU parse cache.
+
+        Hit/miss/evict *counts* live in telemetry
+        (``parser.cache.*`` — see DESIGN.md §9); this reports the
+        structural side so profile reports can show both.
+        """
+        return {
+            "size": len(self._parse_cache),
+            "capacity": self._parse_cache_size,
+        }
+
     # --- lazy matcher construction ------------------------------------
 
     @property
     def compiled_trie(self) -> Optional[CompiledTrie]:
         """The compiled forward matcher, or None when not (yet) built."""
         return self._compiled
+
+    def ensure_compiled_matchers(
+        self,
+    ) -> Tuple[CompiledTrie, Optional[CompiledTrie]]:
+        """Materialise and return the compiled matchers for broadcast.
+
+        The parallel scoring engine pickles the flat-array
+        :class:`CompiledTrie` snapshots into its worker pool **once**
+        (pool initializer), instead of letting every worker re-walk a
+        pointer trie — rebuilding tries per worker is what made small
+        parallel training runs slower than serial (DESIGN.md §7).
+        Returns ``(forward, reversed_or_None)``; the reversed matcher is
+        built only when the reverse extension is on.  Requires
+        ``use_compiled=True`` — the pointer trie is deliberately not
+        broadcast.
+        """
+        if not self._use_compiled:
+            raise ValueError(
+                "compiled matcher broadcast requires use_compiled=True"
+            )
+        forward = self._forward_matcher()
+        assert isinstance(forward, CompiledTrie)
+        reversed_matcher: Optional[CompiledTrie] = None
+        if self._allow_reverse:
+            matcher = self._reverse_matcher()
+            assert isinstance(matcher, CompiledTrie)
+            reversed_matcher = matcher
+        return forward, reversed_matcher
+
+    @classmethod
+    def from_compiled(
+        cls,
+        forward: CompiledTrie,
+        reversed_matcher: Optional[CompiledTrie],
+        min_length: int,
+        flags: Dict[str, bool],
+        parse_cache_size: int = DEFAULT_PARSE_CACHE_SIZE,
+    ) -> "FuzzyParser":
+        """Rebuild a parser around already-compiled matchers.
+
+        The worker-side half of :meth:`ensure_compiled_matchers`: the
+        pool initializer receives the compiled snapshots and ``flags``
+        (the :attr:`flags` dict of the parent parser) and reconstructs
+        a parser that parses identically without ever touching a
+        pointer trie.  The backing :class:`PrefixTrie` is an empty
+        husk — only the compiled matchers are consulted.
+        """
+        parser = cls(
+            PrefixTrie(min_length=min_length),
+            parse_cache_size=parse_cache_size,
+            **flags,
+        )
+        if not parser._use_compiled:
+            raise ValueError(
+                "from_compiled requires flags with use_compiled=True"
+            )
+        parser._compiled = forward
+        if flags.get("allow_reverse"):
+            if reversed_matcher is None:
+                raise ValueError(
+                    "allow_reverse parser needs a reversed matcher"
+                )
+            parser._reversed_matcher = reversed_matcher
+        return parser
 
     @property
     def reversed_trie_built(self) -> bool:

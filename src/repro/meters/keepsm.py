@@ -100,6 +100,26 @@ class KeePSMMeter(Meter):
     def probability(self, password: str) -> float:
         return entropy_to_probability(self.entropy(password))
 
+    def probability_many(self, passwords: Iterable[str]) -> List[float]:
+        """Batch scoring with a distinct-password memo.
+
+        The min-cost cover is a pure (and comparatively expensive,
+        O(n^2) dynamic program) function of the password, so each
+        distinct password runs the DP once and repeats are dict
+        lookups.  Values are exactly the per-call ones.
+        """
+        entropy = self.entropy
+        convert = entropy_to_probability
+        memo: Dict[str, float] = {}
+        out: List[float] = []
+        for password in passwords:
+            probability = memo.get(password)
+            if probability is None:
+                probability = convert(entropy(password))
+                memo[password] = probability
+            out.append(probability)
+        return out
+
     def entropy(self, password: str) -> float:
         """Minimum pattern-cover cost in bits (0 for the empty string)."""
         if not password:

@@ -24,11 +24,20 @@ def _share(part: int, whole: int) -> Optional[float]:
     return part / whole if whole else None
 
 
-def build_report(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+def build_report(
+    snapshot: Dict[str, Any],
+    parse_cache_info: Optional[Dict[str, int]] = None,
+) -> Dict[str, Any]:
     """Derive the headline quantities from a telemetry snapshot.
 
     The returned document is JSON-ready and self-contained: it embeds
     the snapshot it was derived from under ``"telemetry"``.
+
+    ``parse_cache_info`` optionally carries the structural cache state
+    (:meth:`repro.core.parser.FuzzyParser.cache_info` — occupancy and
+    capacity); when given, its keys are merged into the
+    ``"parse_cache"`` section next to the hit/miss/evict counters.
+    Omitting it leaves the report layout exactly as before.
     """
     counters: Dict[str, int] = snapshot.get("counters", {})
     trie_hits = counters.get("parser.segment.trie_hit", 0)
@@ -37,6 +46,14 @@ def build_report(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     parses = counters.get("parser.parse", 0)
     cache_hits = counters.get("parser.cache.hit", 0)
     cache_misses = counters.get("parser.cache.miss", 0)
+    parse_cache: Dict[str, Any] = {
+        "hits": cache_hits,
+        "misses": cache_misses,
+        "evictions": counters.get("parser.cache.evict", 0),
+        "hit_rate": _rate(cache_hits, cache_misses),
+    }
+    if parse_cache_info is not None:
+        parse_cache.update(parse_cache_info)
     return {
         "report_version": REPORT_VERSION,
         "parse_outcomes": {
@@ -54,12 +71,7 @@ def build_report(snapshot: Dict[str, Any]) -> Dict[str, Any]:
                 "allcaps": counters.get("parser.rule.allcaps", 0),
             },
         },
-        "parse_cache": {
-            "hits": cache_hits,
-            "misses": cache_misses,
-            "evictions": counters.get("parser.cache.evict", 0),
-            "hit_rate": _rate(cache_hits, cache_misses),
-        },
+        "parse_cache": parse_cache,
         "stages": {
             name: histogram
             for name, histogram in snapshot.get("histograms", {}).items()
@@ -93,6 +105,11 @@ def render_report(report: Dict[str, Any]) -> List[str]:
         f"(hit rate {_format_optional_rate(cache['hit_rate'])}, "
         f"{cache['evictions']:,} evictions)"
     )
+    if "capacity" in cache:
+        lines.append(
+            f"parse cache size: {cache.get('size', 0):,} of "
+            f"{cache['capacity']:,} entries"
+        )
     for stage, histogram in report["stages"].items():
         lines.append(
             f"stage {stage:<24}: {histogram['count']:,} x, "

@@ -46,11 +46,11 @@ def lines_of(source, select=None):
 
 
 class TestRegistry:
-    def test_all_ten_domain_rules_registered(self):
+    def test_all_eleven_domain_rules_registered(self):
         assert list(all_rules()) == [
             "FPM001", "FPM002", "FPM003", "FPM004",
             "FPM005", "FPM006", "FPM007", "FPM008",
-            "FPM009", "FPM010",
+            "FPM009", "FPM010", "FPM011",
         ]
 
     def test_descriptions_cover_every_rule(self):
@@ -459,6 +459,57 @@ class TestConcreteMeterDispatch:
             snippet, path="src/repro/cli.py", select=["FPM010"]
         )
         assert [v.rule_id for v in flagged] == ["FPM010"]
+
+
+class TestGrammarTableAccess:
+    def test_flags_direct_table_probability_calls(self):
+        ids = [rid for rid, _ in lines_of("""
+            def f(grammar, structure, base):
+                a = grammar.structures.probability(structure)
+                b = grammar.terminals[len(base)].probability(base)
+                c = grammar.leet["L1"].smoothed_probability(True)
+                return a * b * c
+        """, select=["FPM011"])]
+        assert ids.count("FPM011") == 3
+
+    def test_count_reads_are_allowed(self):
+        assert rule_ids_of("""
+            def f(grammar, base):
+                total = grammar.terminals[len(base)].total
+                count = grammar.reverse.count(True)
+                return count / total if total else 0.0
+        """, select=["FPM011"]) == []
+
+    def test_blessed_wrappers_are_allowed(self):
+        assert rule_ids_of("""
+            def f(grammar, frozen, derivation):
+                exact = grammar.derivation_probability(derivation)
+                fast = frozen.derivation_probability(derivation)
+                return exact, fast
+        """, select=["FPM011"]) == []
+
+    def test_unrelated_probability_calls_are_allowed(self):
+        assert rule_ids_of("""
+            def f(dist, item):
+                return dist.probability(item)
+        """, select=["FPM011"]) == []
+
+    def test_grammar_and_frozen_files_are_exempt(self):
+        snippet = textwrap.dedent("""
+            def f(grammar, structure):
+                return grammar.structures.probability(structure)
+        """)
+        for path in (
+            "src/repro/core/grammar.py",
+            "src/repro/core/frozen.py",
+        ):
+            assert check_source(
+                snippet, path=path, select=["FPM011"]
+            ) == []
+        flagged = check_source(
+            snippet, path="src/repro/meters/pcfg.py", select=["FPM011"]
+        )
+        assert [v.rule_id for v in flagged] == ["FPM011"]
 
 
 class TestSuppressions:

@@ -129,7 +129,8 @@ class TestDocumentFormat:
 
     def test_envelope_carries_capability_list(self, fuzzy, pcfg):
         assert meter_to_dict(fuzzy)["capabilities"] == [
-            "batch-scorable", "persistable", "trainable", "updatable",
+            "batch-scorable", "parallel-scorable", "persistable",
+            "trainable", "updatable",
         ]
         assert meter_to_dict(pcfg)["capabilities"] == [
             "batch-scorable", "persistable", "trainable", "updatable",
