@@ -20,6 +20,7 @@ bench-smoke:
 		REPRO_BENCH_BASE=2000 python -m pytest \
 		benchmarks/test_timing_scoring_engine.py \
 		benchmarks/test_timing_batch_scoring.py \
+		benchmarks/test_timing_training_engine.py \
 		benchmarks/test_timing_measure.py -q
 
 examples:

@@ -10,14 +10,19 @@ shootout meter over the same Zipf-shaped evaluation stream and times
 * the meter's own ``probability_many``,
 
 asserting first that both paths return bit-identical scores (the
-override contract), then that the PCFG/Markov overrides actually beat
-the loop, while the rule-based meters — which inherit the base loop
-unchanged — stay within noise of it.
+override contract), then that every meter with a real override —
+fuzzyPSM (frozen-kernel evaluation), PCFG/Markov/KeePSM/NIST
+(per-batch memo), zxcvbn (distinct-password memo over precompiled
+dictionary tables) — actually beats the loop.
 
-The batch path runs *first* for each meter: fuzzyPSM's parse cache
-persists on the instance, so this ordering hands the warm cache to the
-loop side and keeps its recorded speedup conservative (the fair
-fresh-instance comparison lives in ``test_timing_measure``).
+Each meter gets an *untimed warm-up pass* over a stream prefix before
+the clocks start: the first scoring block a fresh process runs is
+several times slower than steady state (allocator/bytecode/cache
+warm-up), and without it the measured ratio reflects ordering, not the
+override.  The batch path still runs first so fuzzyPSM's persistent
+parse cache is handed to the loop side, keeping its recorded speedup
+conservative (the fair fresh-instance comparison lives in
+``test_timing_measure``).
 """
 
 import time
@@ -30,15 +35,18 @@ from repro.meters.zxcvbn.frequency_lists import COMMON_PASSWORDS
 from bench_lib import SMOKE, emit, record
 
 #: The Fig. 13 contenders; dict value marks the meters whose override
-#: must beat the base loop (the others inherit it unchanged).
+#: must beat the base loop.  Every sweep meter now ships one.
 _SWEEP = {
-    "fuzzypsm": False,  # asserted separately in test_timing_measure
+    "fuzzypsm": True,
     "pcfg": True,
     "markov": True,
-    "zxcvbn": False,
+    "zxcvbn": True,
     "keepsm": True,
     "nist": True,
 }
+
+#: Entries scored (untimed) per side before the clocks start.
+_WARMUP = 2_000
 
 
 def test_timing_batch_vs_loop_scoring(corpora, csdn_quarters, capsys):
@@ -53,8 +61,13 @@ def test_timing_batch_vs_loop_scoring(corpora, csdn_quarters, capsys):
 
     lines = []
     measurements = {"stream": len(stream), "distinct": distinct}
+    warmup = stream[:_WARMUP]
     for kind, must_win in _SWEEP.items():
         meter = registry.build_meter(kind, context)
+
+        # Untimed warm-up of both code paths (see module docstring).
+        meter.probability_many(warmup)
+        Meter.probability_many(meter, warmup)
 
         start = time.perf_counter()
         batch = meter.probability_many(stream)
@@ -77,10 +90,6 @@ def test_timing_batch_vs_loop_scoring(corpora, csdn_quarters, capsys):
             continue  # equivalence asserted above; ratios are noise
         if must_win:
             assert speedup > 1.2, f"{kind} batch override slower than loop"
-        elif kind != "fuzzypsm":
-            # zxcvbn still runs the very same base loop twice; any
-            # drift is machine noise, bounded generously for CI jitter.
-            assert 0.25 < speedup < 4.0
 
     emit(
         capsys,

@@ -25,7 +25,11 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.datasets.loaders import load_corpus, save_corpus
+from repro.datasets.loaders import (
+    load_corpus,
+    save_corpus,
+    stream_corpus_chunks,
+)
 from repro.datasets.profiles import DATASET_ORDER
 from repro.datasets.stats import (
     composition_table,
@@ -118,6 +122,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--parse-cache-size", type=int, default=None, metavar="N",
         help="capacity of the LRU parse cache used for bulk scoring "
              "(fuzzyPSM; default 65536)",
+    )
+    train.add_argument(
+        "--stream-chunk", type=int, default=None, metavar="N",
+        help="stream the training corpus off disk in chunks of N "
+             "entries instead of loading it into memory (stream-"
+             "trainable kinds; combine with --jobs for the parallel "
+             "delta pool)",
+    )
+    train.add_argument(
+        "--model-format", choices=["json", "binary"], default="json",
+        help="on-disk model format: json (portable envelope) or "
+             "binary (array-backed, mmap-fast loads; binary-"
+             "persistable kinds)",
     )
     train.add_argument("--output", "-o", required=True)
 
@@ -314,14 +331,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _train_context(args: argparse.Namespace,
-                   training_items: Sequence,
-                   base_dictionary: Sequence[str]) -> TrainContext:
-    """The registry context carrying every CLI training tunable.
-
-    Each registered builder picks the options relevant to its family
-    and ignores the rest, so one context trains any ``--kind``.
-    """
+def _fuzzy_config(args: argparse.Namespace):
+    """The :class:`FuzzyPSMConfig` assembled from CLI tunables."""
     from repro.core.meter import FuzzyPSMConfig
     fuzzy_options = {
         "allow_reverse": args.allow_reverse,
@@ -330,6 +341,17 @@ def _train_context(args: argparse.Namespace,
     }
     if args.parse_cache_size is not None:
         fuzzy_options["parse_cache_size"] = args.parse_cache_size
+    return FuzzyPSMConfig(**fuzzy_options)
+
+
+def _train_context(args: argparse.Namespace,
+                   training_items: Sequence,
+                   base_dictionary: Sequence[str]) -> TrainContext:
+    """The registry context carrying every CLI training tunable.
+
+    Each registered builder picks the options relevant to its family
+    and ignores the rest, so one context trains any ``--kind``.
+    """
     return TrainContext(
         training=tuple(training_items),
         base_dictionary=tuple(base_dictionary),
@@ -337,7 +359,7 @@ def _train_context(args: argparse.Namespace,
             "markov_order": args.order,
             "markov_smoothing": Smoothing(args.smoothing),
             "jobs": args.jobs,
-            "fuzzy_config": FuzzyPSMConfig(**fuzzy_options),
+            "fuzzy_config": _fuzzy_config(args),
         },
     )
 
@@ -348,6 +370,31 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print(f"error: --base is required for {spec.display_name}",
               file=sys.stderr)
         return 2
+    if (
+        args.model_format == "binary"
+        and not spec.has(Capability.BINARY_PERSISTABLE)
+    ):
+        kinds = ", ".join(
+            registry.kinds_with(Capability.BINARY_PERSISTABLE)
+        )
+        print(f"error: --model-format binary is not supported by "
+              f"{spec.display_name}; binary-persistable kinds: {kinds}",
+              file=sys.stderr)
+        return 2
+    if args.stream_chunk is not None:
+        if not spec.has(Capability.STREAM_TRAINABLE):
+            kinds = ", ".join(
+                registry.kinds_with(Capability.STREAM_TRAINABLE)
+            )
+            print(f"error: --stream-chunk is not supported by "
+                  f"{spec.display_name}; stream-trainable kinds: "
+                  f"{kinds}", file=sys.stderr)
+            return 2
+        if args.stream_chunk <= 0:
+            print("error: --stream-chunk must be positive",
+                  file=sys.stderr)
+            return 2
+        return _train_streaming(args, spec)
     training = load_corpus(args.training)
     base_dictionary: Sequence[str] = ()
     if args.base:
@@ -356,8 +403,41 @@ def _cmd_train(args: argparse.Namespace) -> int:
         args.kind,
         _train_context(args, list(training.items()), base_dictionary),
     )
-    save_meter(meter, args.output)
+    save_meter(meter, args.output, fmt=args.model_format)
     print(f"trained {meter.name} on {training.total} passwords "
+          f"-> {args.output}")
+    return 0
+
+
+def _train_streaming(args: argparse.Namespace, spec) -> int:
+    """The out-of-core training path behind ``--stream-chunk``.
+
+    The corpus is never materialised: chunks stream straight off disk
+    into the trainer (serial, or the parallel delta pool with
+    ``--jobs``), so peak memory is bounded by the chunk size and the
+    trainer's in-flight window.
+    """
+    base_dictionary: Sequence[str] = ()
+    if args.base:
+        base_dictionary = load_corpus(args.base).unique_passwords()
+    trained = 0
+
+    def counted_chunks():
+        nonlocal trained
+        for chunk in stream_corpus_chunks(
+            args.training, chunk_size=args.stream_chunk
+        ):
+            trained += len(chunk)
+            yield chunk
+
+    meter = spec.cls.train_streaming(
+        base_dictionary,
+        counted_chunks(),
+        config=_fuzzy_config(args),
+        jobs=args.jobs,
+    )
+    save_meter(meter, args.output, fmt=args.model_format)
+    print(f"trained {meter.name} on {trained} streamed passwords "
           f"-> {args.output}")
     return 0
 

@@ -50,16 +50,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.grammar import Derivation, FuzzyGrammar, Structure
 from repro.util.freqdist import FrequencyDistribution
-from repro.util.leet import LEET_BY_LETTER, LEET_RULE_NAMES
+from repro.util.leet import LEET_RULE_INDEX, LEET_RULE_NAMES
 
-#: character -> leet rule number (0-based), both directions of a pair;
-#: mirrors :func:`repro.core.grammar.leet_rule_for_char` without the
-#: per-call string work.
-_LEET_RULE_INDEX: Dict[str, int] = {}
-for _index, _letter in enumerate("asoiet"):
-    _LEET_RULE_INDEX[_letter] = _index
-    _LEET_RULE_INDEX[LEET_BY_LETTER[_letter]] = _index
-del _index, _letter
+#: Backwards-compatible alias; the index now lives in
+#: :mod:`repro.util.leet` so the training delta builder shares it.
+_LEET_RULE_INDEX: Dict[str, int] = LEET_RULE_INDEX
 
 #: One ``(No, Yes)`` probability pair, indexed by a rule's fired flag.
 _Pair = Tuple[float, float]

@@ -21,6 +21,7 @@ every rule in its derivation (Fig. 11 of the paper).
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -440,6 +441,110 @@ class FuzzyGrammar:
                 for rule, table in self.leet.items()
             },
         }
+
+    def to_arrays(self) -> Dict[str, Any]:
+        """Flat-column snapshot of every count table.
+
+        The array-backed twin of :meth:`to_dict`, shaped for the binary
+        model format in :mod:`repro.persistence`: integer columns are
+        ``array('q')`` (written to disk verbatim and mmap-read back
+        without parsing), strings are one concatenated blob plus a
+        per-word character-length column.  Column order is table
+        insertion order, so ``from_arrays(to_arrays())`` reproduces a
+        grammar whose :meth:`to_dict` is byte-identical.
+
+        Terminals are emitted grouped by length table; rebuilding via
+        ``setdefault(len(word))`` recreates both the length-table
+        insertion order and each table's internal order, because a
+        table's key *is* its words' shared length.
+        """
+        structure_symbols = array("q")
+        structure_lens = array("q")
+        structure_counts = array("q")
+        for structure, count in self.structures.items():
+            structure_symbols.extend(structure)
+            structure_lens.append(len(structure))
+            structure_counts.append(count)
+        terminal_parts: List[str] = []
+        terminal_lens = array("q")
+        terminal_counts = array("q")
+        for table in self.terminals.values():
+            for word, count in table.items():
+                terminal_parts.append(word)
+                terminal_lens.append(len(word))
+                terminal_counts.append(count)
+        booleans = array("q", (
+            self.capitalization.count(True),
+            self.capitalization.count(False),
+            self.reverse.count(True),
+            self.reverse.count(False),
+            self.allcaps.count(True),
+            self.allcaps.count(False),
+        ))
+        leet = array("q")
+        for name in LEET_RULE_NAMES:
+            table = self.leet[name]
+            leet.append(table.count(True))
+            leet.append(table.count(False))
+        return {
+            "structure_symbols": structure_symbols,
+            "structure_lens": structure_lens,
+            "structure_counts": structure_counts,
+            "terminal_blob": "".join(terminal_parts),
+            "terminal_lens": terminal_lens,
+            "terminal_counts": terminal_counts,
+            "booleans": booleans,
+            "leet": leet,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, Any]) -> "FuzzyGrammar":
+        """Rebuild a grammar from :meth:`to_arrays` columns.
+
+        The fast deserialisation path: tables are bulk-built with
+        :meth:`FrequencyDistribution.from_counts` instead of per-item
+        :meth:`~FrequencyDistribution.add` calls, which is what makes
+        binary model loads of RockYou-scale grammars cheap.
+        """
+        grammar = cls()
+        structure_pairs: List[Tuple[Structure, int]] = []
+        offset = 0
+        symbols = arrays["structure_symbols"]
+        for length, count in zip(
+            arrays["structure_lens"], arrays["structure_counts"]
+        ):
+            structure_pairs.append(
+                (tuple(symbols[offset:offset + length]), count)
+            )
+            offset += length
+        grammar.structures = FrequencyDistribution.from_counts(
+            structure_pairs
+        )
+        tables: Dict[int, List[Tuple[str, int]]] = {}
+        blob = arrays["terminal_blob"]
+        offset = 0
+        for length, count in zip(
+            arrays["terminal_lens"], arrays["terminal_counts"]
+        ):
+            word = blob[offset:offset + length]
+            offset += length
+            tables.setdefault(length, []).append((word, count))
+        grammar.terminals = {
+            length: FrequencyDistribution.from_counts(pairs)
+            for length, pairs in tables.items()
+        }
+        booleans = arrays["booleans"]
+        grammar.capitalization.add(True, booleans[0])
+        grammar.capitalization.add(False, booleans[1])
+        grammar.reverse.add(True, booleans[2])
+        grammar.reverse.add(False, booleans[3])
+        grammar.allcaps.add(True, booleans[4])
+        grammar.allcaps.add(False, booleans[5])
+        leet = arrays["leet"]
+        for index, name in enumerate(LEET_RULE_NAMES):
+            grammar.leet[name].add(True, leet[2 * index])
+            grammar.leet[name].add(False, leet[2 * index + 1])
+        return grammar
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FuzzyGrammar":

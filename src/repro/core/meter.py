@@ -19,6 +19,7 @@ from __future__ import annotations
 import multiprocessing
 import random
 import warnings
+from array import array
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -38,7 +39,12 @@ from repro.core.parser import (
     FuzzyParser,
     ParsedPassword,
 )
-from repro.core.training import PasswordEntry, build_base_trie, train_grammar
+from repro.core.training import (
+    PasswordEntry,
+    build_base_trie,
+    train_grammar,
+    train_grammar_streaming,
+)
 from repro.core.trie import PrefixTrie
 from repro.meters.base import ProbabilisticMeter, probability_to_entropy
 from repro.meters.registry import Capability, TrainContext, register_meter
@@ -202,10 +208,12 @@ def _build_fuzzypsm(cls: type, context: TrainContext) -> "FuzzyPSM":
     "fuzzypsm",
     capabilities=(
         Capability.TRAINABLE,
+        Capability.STREAM_TRAINABLE,
         Capability.UPDATABLE,
         Capability.BATCH_SCORABLE,
         Capability.PARALLEL_SCORABLE,
         Capability.PERSISTABLE,
+        Capability.BINARY_PERSISTABLE,
     ),
     summary="The paper's fuzzy-PCFG meter with an online update phase",
     builder=_build_fuzzypsm,
@@ -260,6 +268,36 @@ class FuzzyPSM(ProbabilisticMeter):
         )
         parser = _build_parser(trie, config)
         grammar = train_grammar(training, trie, parser=parser, jobs=jobs)
+        return cls(grammar, trie, config)
+
+    @classmethod
+    def train_streaming(
+        cls,
+        base_dictionary: Iterable[str],
+        chunks: Iterable[Iterable[PasswordEntry]],
+        config: Optional[FuzzyPSMConfig] = None,
+        jobs: Optional[int] = None,
+    ) -> "FuzzyPSM":
+        """Train from an out-of-core stream of entry chunks.
+
+        The corpus-scale twin of :meth:`train`: ``chunks`` is an
+        iterator of bounded ``(password, count)`` batches — typically
+        :func:`repro.datasets.loaders.stream_corpus_chunks` over a
+        RockYou-scale file — consumed exactly once, so peak memory is
+        governed by the chunk size and (with ``jobs > 1``) the
+        trainer's bounded in-flight window, never the corpus.  The
+        resulting grammar is byte-identical to an in-memory
+        :meth:`train` over the concatenated entries
+        (:func:`~repro.core.training.train_grammar_streaming`).
+        """
+        config = config or FuzzyPSMConfig()
+        trie = build_base_trie(
+            base_dictionary, min_length=config.min_base_length
+        )
+        parser = _build_parser(trie, config)
+        grammar = train_grammar_streaming(
+            chunks, trie, parser=parser, jobs=jobs
+        )
         return cls(grammar, trie, config)
 
     # --- accessors ------------------------------------------------------
@@ -568,6 +606,59 @@ class FuzzyPSM(ProbabilisticMeter):
             data["base_words"], min_length=config.min_base_length
         )
         grammar = FuzzyGrammar.from_dict(data["grammar"])
+        return cls(grammar, trie, config)
+
+    def to_buffers(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Flat-column snapshot for the binary model format.
+
+        Returns ``(meta, sections)``: the JSON-safe config (same keys
+        as :meth:`to_dict`'s ``config``) plus an ordered mapping of
+        flat columns — the sorted base words as one blob with a
+        character-length column, and the grammar's
+        :meth:`FuzzyGrammar.to_arrays` columns.  Consumed by
+        :func:`repro.persistence.save_meter` with ``fmt="binary"``.
+        """
+        words = self.base_words()
+        base_lens = array("q", (len(word) for word in words))
+        sections: Dict[str, Any] = {
+            "base_blob": "".join(words),
+            "base_lens": base_lens,
+        }
+        sections.update(self._grammar.to_arrays())
+        meta = {
+            "config": {
+                "min_base_length": self._config.min_base_length,
+                "allow_capitalization": self._config.allow_capitalization,
+                "allow_leet": self._config.allow_leet,
+                "allow_reverse": self._config.allow_reverse,
+                "allow_allcaps": self._config.allow_allcaps,
+                "auto_update": self._config.auto_update,
+                "use_compiled_trie": self._config.use_compiled_trie,
+                "parse_cache_size": self._config.parse_cache_size,
+            },
+        }
+        return meta, sections
+
+    @classmethod
+    def from_buffers(
+        cls, meta: Dict[str, Any], sections: Dict[str, Any]
+    ) -> "FuzzyPSM":
+        """Rebuild a meter from :meth:`to_buffers` output.
+
+        The fast load path: grammar tables are bulk-built from the
+        flat columns (:meth:`FuzzyGrammar.from_arrays`), and the trie
+        is rebuilt from the word blob.  A binary round trip yields a
+        meter whose :meth:`to_dict` is byte-identical to the source.
+        """
+        config = FuzzyPSMConfig(**meta["config"])
+        blob = sections["base_blob"]
+        words: List[str] = []
+        offset = 0
+        for length in sections["base_lens"]:
+            words.append(blob[offset:offset + length])
+            offset += length
+        trie = PrefixTrie(words, min_length=config.min_base_length)
+        grammar = FuzzyGrammar.from_arrays(sections)
         return cls(grammar, trie, config)
 
     # --- probabilistic-meter extras -----------------------------------------

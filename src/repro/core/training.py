@@ -6,21 +6,43 @@ training dictionary ``T`` and accumulate its derivation into the fuzzy
 grammar's count tables.  The paper reports ~10 s per million training
 passwords; this implementation is linear in total training characters.
 
-Because training is pure counting, it parallelises exactly:
-``train_grammar(..., jobs=N)`` splits the training list into chunks,
-parses each chunk in a worker process against its own copy of the trie,
-and folds the per-chunk grammars together with
-:meth:`FuzzyGrammar.merge`.  Counting commutes, so the merged grammar is
-identical (same count tables) to the serial result.
+Because training is pure counting, it parallelises exactly.  Two
+engines share one worker pool design:
+
+* :func:`train_grammar` — the in-memory engine: materialise the
+  entries, split them into chunks, parse each chunk in a worker
+  process, fold the results.
+* :func:`train_grammar_streaming` — the out-of-core engine: consume an
+  iterator of bounded chunks (see
+  :func:`repro.datasets.loaders.stream_corpus_chunks`) through a
+  bounded in-flight window, so neither the corpus nor the pool's task
+  queue is ever materialised.  Memory stays flat in corpus size.
+
+Workers are initialised **once** per pool with the parent's compiled
+flat-array matchers (:meth:`FuzzyParser.ensure_compiled_matchers` →
+:meth:`FuzzyParser.from_compiled`), not a rebuilt pointer trie, and
+they return compact :class:`~repro.core.deltas.GrammarDelta` records —
+interned-index count columns — instead of pickling a full
+:class:`FuzzyGrammar` per chunk.  Chunks are aggregated per distinct
+password before parsing and parsed through the worker's LRU parse
+cache, so a skewed real-world corpus pays one parse per distinct
+password per chunk rather than one per occurrence.  Counting commutes
+and deltas are applied in submission order, so both engines produce a
+grammar whose ``to_dict`` is byte-identical to the serial pass
+(``tests/test_training_streaming.py``).
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import os
+from collections import deque
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro import obs
 from repro.obs.core import now as _now
+from repro.core.deltas import DeltaBuilder, DeltaMerger, GrammarDelta
 from repro.core.grammar import FuzzyGrammar
 from repro.core.parser import FuzzyParser
 from repro.core.trie import PrefixTrie
@@ -29,13 +51,39 @@ from repro.core.trie import PrefixTrie
 PasswordEntry = Union[str, Tuple[str, int]]
 
 #: Corpora smaller than this train serially even when ``jobs > 1``.
-#: Worker startup re-builds (and re-compiles) the base trie in every
-#: process, a fixed cost of seconds against a ~100 us/password serial
-#: parse rate: BENCH_timing.json records jobs=2 at 7x *slower* than
-#: serial for 5k passwords.  The cutoff sits where the chunked parse
-#: work plausibly amortises that startup; pass ``parallel_threshold``
-#: to :func:`train_grammar` to override it (tests and tuning).
-PARALLEL_MIN_ENTRIES = 100_000
+#: Worker startup is a fixed cost of high hundreds of milliseconds
+#: (process spawn plus the compiled-matcher broadcast) against a
+#: ~100 us/password serial parse rate, so the break-even sits in the
+#: tens of thousands of entries.  Below the cutoff ``jobs`` degrades to
+#: the serial path and emits ``training.parallel.fallback`` so the
+#: degradation is visible in telemetry; pass ``parallel_threshold`` to
+#: override (tests and tuning).
+PARALLEL_MIN_ENTRIES = 50_000
+
+#: In-flight chunks per worker in the streaming engine.  The window
+#: keeps every worker busy without letting ``apply_async`` results (or
+#: the submitted chunks themselves) pile up unboundedly — this, not
+#: ``Pool.imap`` (whose feeder thread slurps the whole iterable into
+#: the task queue), is what keeps streamed training memory flat.
+STREAM_INFLIGHT_PER_JOB = 4
+
+
+def _available_cpus() -> int:
+    """CPUs the pool could actually use (patchable in tests)."""
+    return os.cpu_count() or 1
+
+
+def _effective_jobs(jobs: int) -> int:
+    """Clamp ``jobs`` to the host's CPU count.
+
+    Workers beyond the core count cannot run concurrently — they only
+    add process spawn, chunk pickling and delta IPC on top of the same
+    serial compute (measured at ~2x total time for ``jobs=2`` on one
+    core, BENCH_timing.json ``training_streaming_parallel``).  A clamp
+    to one worker routes to the serial engine, which the caller reports
+    through the ``training.parallel.fallback`` counter.
+    """
+    return min(jobs, _available_cpus())
 
 
 def build_base_trie(base_dictionary: Iterable[str],
@@ -78,42 +126,130 @@ def _iter_entries(
             yield password, count
 
 
-#: Per-worker parser, created once by ``_worker_init`` so every chunk
-#: mapped to that worker reuses the same trie and compiled matcher.
+def _normalise_chunk(chunk: Iterable[PasswordEntry],
+                     skip_empty: bool) -> List[Tuple[str, int]]:
+    """One chunk's entries, validated and with empties resolved."""
+    entries: List[Tuple[str, int]] = []
+    for password, count in _iter_entries(chunk):
+        if not password:
+            if skip_empty:
+                continue
+            raise ValueError("cannot train on an empty password")
+        entries.append((password, count))
+    return entries
+
+
+def _aggregate_chunk(
+    chunk: List[Tuple[str, int]]
+) -> Dict[str, int]:
+    """Sum a chunk's counts per distinct password, first-seen order.
+
+    Dict insertion order is first-seen order and
+    ``add(key, n) == n x add(key, 1)``, so observing the aggregate once
+    per distinct password yields the same count tables *in the same
+    insertion order* as observing every occurrence — while paying one
+    parse per distinct password instead of one per occurrence.
+    """
+    aggregated: Dict[str, int] = {}
+    for password, count in chunk:
+        aggregated[password] = aggregated.get(password, 0) + count
+    return aggregated
+
+
+#: Per-worker parser and delta builder, created once by the pool
+#: initialiser so every chunk mapped to that worker reuses the same
+#: compiled matcher, parse cache and intern tables.
 _WORKER_PARSER: Optional[FuzzyParser] = None
+_WORKER_BUILDER: Optional[DeltaBuilder] = None
 
 
 def _worker_init(
     words: List[str], min_length: int, flags: Dict[str, bool]
 ) -> None:
-    """Process-pool initialiser: rebuild the trie and parser locally.
+    """Fallback pool initialiser: rebuild the trie locally from words.
 
-    Workers receive the sorted word list rather than a pickled pointer
-    trie — rebuilding from strings is cheaper than unpickling ~2 Python
-    objects per trie node, and the worker compiles its own flat-array
-    matcher from it when ``use_compiled`` is set.
+    Used only when the parent parser runs with ``use_compiled=False``
+    (ablations); the normal path is :func:`_worker_init_compiled`.
     """
-    global _WORKER_PARSER
+    global _WORKER_PARSER, _WORKER_BUILDER
     trie = PrefixTrie(words, min_length=min_length)
     _WORKER_PARSER = FuzzyParser(trie, **flags)
+    _WORKER_BUILDER = DeltaBuilder(worker_id=os.getpid())
 
 
-def _parse_chunk(chunk: List[Tuple[str, int]]) -> Tuple[FuzzyGrammar, float]:
-    """Parse one chunk of ``(password, count)`` pairs into a grammar.
+def _worker_init_compiled(
+    forward: object,
+    reversed_matcher: object,
+    min_length: int,
+    flags: Dict[str, bool],
+    parse_cache_size: int,
+) -> None:
+    """Pool initialiser: adopt the parent's compiled matchers.
 
-    Returns the chunk grammar plus the worker-side parse seconds: the
-    parent's telemetry backend cannot see into pool processes, so each
-    chunk ships its own timing home for the ``train.chunk.seconds``
-    histogram.
+    The parent compiles its flat-array matchers once
+    (:meth:`FuzzyParser.ensure_compiled_matchers`) and broadcasts the
+    snapshots through the pool initargs; workers wrap them with
+    :meth:`FuzzyParser.from_compiled` without ever touching a pointer
+    trie.  This is what makes the pool *persistent* in the useful
+    sense: its per-process setup cost no longer scales with the base
+    dictionary's trie shape.
+    """
+    global _WORKER_PARSER, _WORKER_BUILDER
+    _WORKER_PARSER = FuzzyParser.from_compiled(
+        forward,  # type: ignore[arg-type]
+        reversed_matcher,  # type: ignore[arg-type]
+        min_length,
+        flags,
+        parse_cache_size=parse_cache_size,
+    )
+    _WORKER_BUILDER = DeltaBuilder(worker_id=os.getpid())
+
+
+def _delta_chunk(chunk: List[Tuple[str, int]]) -> GrammarDelta:
+    """Parse one chunk of ``(password, count)`` pairs into a delta.
+
+    The delta carries the worker-side parse seconds home: the parent's
+    telemetry backend cannot see into pool processes, so each chunk
+    ships its own timing for the ``train.chunk.seconds`` histogram.
     """
     parser = _WORKER_PARSER
-    assert parser is not None, "_worker_init did not run"
+    builder = _WORKER_BUILDER
+    assert parser is not None and builder is not None, (
+        "pool initialiser did not run"
+    )
     start = _now()
-    grammar = FuzzyGrammar()
-    for password, count in chunk:
-        parsed = parser.parse(password)
-        grammar.observe(parsed.to_derivation(), count)
-    return grammar, _now() - start
+    for password, count in _aggregate_chunk(chunk).items():
+        parsed = parser.parse_cached(password)
+        builder.observe(parsed.to_derivation(), count)
+    return builder.finish_chunk(_now() - start)
+
+
+def _training_pool(parser: FuzzyParser, jobs: int) -> multiprocessing.pool.Pool:
+    """Create the persistent worker pool for ``parser``.
+
+    Compiled parsers broadcast their flat-array matchers; the
+    ``use_compiled=False`` ablation falls back to shipping the word
+    list and rebuilding per worker.
+    """
+    if parser.flags.get("use_compiled"):
+        forward, reversed_matcher = parser.ensure_compiled_matchers()
+        return multiprocessing.Pool(
+            processes=jobs,
+            initializer=_worker_init_compiled,
+            initargs=(
+                forward,
+                reversed_matcher,
+                parser.trie.min_length,
+                parser.flags,
+                parser.cache_info()["capacity"],
+            ),
+        )
+    trie = parser.trie
+    return multiprocessing.Pool(
+        processes=jobs,
+        initializer=_worker_init,
+        initargs=(list(trie.iter_words()), trie.min_length, parser.flags),
+    )
 
 
 def train_grammar(training_passwords: Iterable[PasswordEntry],
@@ -132,11 +268,14 @@ def train_grammar(training_passwords: Iterable[PasswordEntry],
         skip_empty: drop empty strings rather than raising.
         jobs: number of worker processes.  ``None``, ``0`` and ``1``
             train serially; ``N > 1`` chunks the corpus across ``N``
-            processes and merges the per-chunk count tables, which is
-            exact (counting commutes — see :meth:`FuzzyGrammar.merge`).
-            Small corpora fall back to the serial path automatically:
-            below ``parallel_threshold`` entries the pool's fixed
-            startup cost exceeds the entire serial parse time.
+            processes and folds the per-chunk count deltas, which is
+            exact (counting commutes — see
+            :class:`~repro.core.deltas.DeltaMerger`).  Small corpora
+            fall back to the serial path automatically: below
+            ``parallel_threshold`` entries the pool's fixed startup
+            cost exceeds the entire serial parse time.  ``jobs`` is
+            also clamped to the host's CPU count, so a single-core
+            host always trains serially (see :func:`_effective_jobs`).
         parallel_threshold: corpus-size cutoff for that fallback
             (default :data:`PARALLEL_MIN_ENTRIES`).
 
@@ -153,24 +292,95 @@ def train_grammar(training_passwords: Iterable[PasswordEntry],
         return _train_grammar_serial(
             _iter_entries(training_passwords), parser, skip_empty
         )
-    entries: List[Tuple[str, int]] = []
-    for password, count in _iter_entries(training_passwords):
-        if not password:
-            if skip_empty:
-                continue
-            raise ValueError("cannot train on an empty password")
-        entries.append((password, count))
+    if _effective_jobs(jobs) == 1:
+        # Requested workers can't run concurrently on this host; the
+        # pool would only add IPC on top of the same serial compute.
+        _record_parallel_fallback()
+        return _train_grammar_serial(
+            _iter_entries(training_passwords), parser, skip_empty
+        )
+    jobs = _effective_jobs(jobs)
+    entries = _normalise_chunk(training_passwords, skip_empty)
     threshold = (
         PARALLEL_MIN_ENTRIES if parallel_threshold is None
         else parallel_threshold
     )
     if len(entries) < threshold:
-        telemetry = obs.get()
-        if telemetry.enabled:
-            telemetry.incr("train.fallback.serial")
+        _record_parallel_fallback()
         return _train_grammar_serial(iter(entries), parser,
                                      skip_empty=False)
     return _train_grammar_parallel(entries, parser, jobs)
+
+
+def _record_parallel_fallback() -> None:
+    """Emit the counters that make a parallel->serial degrade visible."""
+    telemetry = obs.get()
+    if telemetry.enabled:
+        telemetry.incr("train.fallback.serial")
+        telemetry.incr("training.parallel.fallback")
+
+
+def train_grammar_streaming(
+    chunks: Iterable[Iterable[PasswordEntry]],
+    trie: PrefixTrie,
+    parser: Optional[FuzzyParser] = None,
+    skip_empty: bool = True,
+    jobs: Optional[int] = None,
+    parallel_threshold: Optional[int] = None,
+) -> FuzzyGrammar:
+    """Learn a grammar from an out-of-core stream of entry chunks.
+
+    The streaming twin of :func:`train_grammar`: ``chunks`` is an
+    iterator of bounded batches (typically
+    :func:`repro.datasets.loaders.stream_corpus_chunks`), consumed
+    exactly once and never materialised, so peak memory is governed by
+    the chunk size and the in-flight window rather than the corpus.
+
+    Serial streaming aggregates each chunk per distinct password and
+    parses through the LRU cache; parallel streaming feeds the same
+    chunks to the delta worker pool through a bounded ``apply_async``
+    window and applies deltas in submission order.  Both produce a
+    grammar byte-identical (``to_dict``) to :func:`train_grammar` over
+    the concatenated entries.
+
+    Parallel runs first buffer chunks until ``parallel_threshold``
+    entries have arrived; a stream that ends before reaching it trains
+    serially instead (pool startup would dominate) and emits the
+    ``training.parallel.fallback`` counter.  ``jobs`` is clamped to
+    the host's CPU count the same way as in :func:`train_grammar`.
+    """
+    if jobs is not None and jobs < 0:
+        raise ValueError(f"jobs must be non-negative, got {jobs}")
+    if parser is None:
+        parser = FuzzyParser(trie)
+    normalised = (_normalise_chunk(chunk, skip_empty) for chunk in chunks)
+    if not jobs or jobs == 1:
+        return _train_streaming_serial(normalised, parser)
+    if _effective_jobs(jobs) == 1:
+        # Single-core host: see :func:`_effective_jobs`.
+        _record_parallel_fallback()
+        return _train_streaming_serial(normalised, parser)
+    jobs = _effective_jobs(jobs)
+    threshold = (
+        PARALLEL_MIN_ENTRIES if parallel_threshold is None
+        else parallel_threshold
+    )
+    buffered: List[List[Tuple[str, int]]] = []
+    total = 0
+    iterator = iter(normalised)
+    for chunk in iterator:
+        buffered.append(chunk)
+        total += len(chunk)
+        if total >= threshold:
+            break
+    else:
+        # Stream ended below break-even: the pool's startup cost would
+        # dominate, so degrade to serial — visibly.
+        _record_parallel_fallback()
+        return _train_streaming_serial(iter(buffered), parser)
+    return _train_streaming_parallel(
+        itertools.chain(buffered, iterator), parser, jobs
+    )
 
 
 def _train_grammar_serial(entries: Iterator[Tuple[str, int]],
@@ -194,10 +404,29 @@ def _train_grammar_serial(entries: Iterator[Tuple[str, int]],
     return grammar
 
 
+def _train_streaming_serial(
+    chunks: Iterator[List[Tuple[str, int]]],
+    parser: FuzzyParser,
+) -> FuzzyGrammar:
+    """In-process streamed training: aggregate, parse cached, observe."""
+    telemetry = obs.get()
+    grammar = FuzzyGrammar()
+    trained = 0
+    with telemetry.timer("train.stream.seconds"):
+        for chunk in chunks:
+            trained += len(chunk)
+            for password, count in _aggregate_chunk(chunk).items():
+                parsed = parser.parse_cached(password)
+                grammar.observe(parsed.to_derivation(), count)
+    if telemetry.enabled:
+        telemetry.incr("train.passwords", trained)
+    return grammar
+
+
 def _train_grammar_parallel(entries: List[Tuple[str, int]],
                             parser: FuzzyParser,
                             jobs: int) -> FuzzyGrammar:
-    """Chunk the corpus over a process pool and merge the counts."""
+    """Chunk the corpus over the delta pool and fold the deltas."""
     if not entries:
         return FuzzyGrammar()
     telemetry = obs.get()
@@ -205,30 +434,68 @@ def _train_grammar_parallel(entries: List[Tuple[str, int]],
         telemetry.incr("train.parallel")
         telemetry.incr("train.passwords", len(entries))
     # A few chunks per worker smooths over uneven parse costs without
-    # inflating per-chunk pickling overhead.
+    # inflating per-chunk messaging overhead.
     chunk_count = min(jobs * 4, len(entries))
     step = -(-len(entries) // chunk_count)
     chunks = [entries[i:i + step] for i in range(0, len(entries), step)]
-    trie = parser.trie
-    words = list(trie.iter_words())
+    grammar = FuzzyGrammar()
+    merger = DeltaMerger()
     with telemetry.timer("train.parallel.seconds"):
-        with multiprocessing.Pool(
-            processes=jobs,
-            initializer=_worker_init,
-            initargs=(words, trie.min_length, parser.flags),
-        ) as pool:
-            grammar = FuzzyGrammar()
-            # Ordered merge: chunks preserve stream order, so merging
-            # them in sequence reproduces the serial grammar's key
-            # insertion order too — serialized models are
-            # byte-identical, not just dict-equal.
-            for chunk_grammar, chunk_seconds in pool.imap(
-                _parse_chunk, chunks
-            ):
+        with _training_pool(parser, jobs) as pool:
+            # Ordered application: chunks preserve stream order, so
+            # folding deltas in sequence reproduces the serial
+            # grammar's key insertion order too — serialized models
+            # are byte-identical, not just dict-equal.
+            for delta in pool.imap(_delta_chunk, chunks):
                 if telemetry.enabled:
                     telemetry.observe(
-                        "train.chunk.seconds", chunk_seconds
+                        "train.chunk.seconds", delta.seconds
                     )
                 with telemetry.timer("train.merge.seconds"):
-                    grammar.merge(chunk_grammar)
+                    merger.apply(grammar, delta)
+    return grammar
+
+
+def _train_streaming_parallel(
+    chunks: Iterator[List[Tuple[str, int]]],
+    parser: FuzzyParser,
+    jobs: int,
+) -> FuzzyGrammar:
+    """Streamed chunks through the delta pool, bounded in-flight window.
+
+    ``Pool.imap`` is deliberately avoided: its feeder thread drains the
+    whole input iterable into the task queue, which for an out-of-core
+    stream is exactly the materialisation streaming exists to avoid.
+    Instead at most ``jobs * STREAM_INFLIGHT_PER_JOB`` chunks are in
+    flight; results are popped FIFO, which is submission order, which
+    preserves byte-identity of the folded grammar.
+    """
+    telemetry = obs.get()
+    if telemetry.enabled:
+        telemetry.incr("train.parallel")
+    grammar = FuzzyGrammar()
+    merger = DeltaMerger()
+    trained = 0
+    window: "deque" = deque()
+    max_inflight = jobs * STREAM_INFLIGHT_PER_JOB
+
+    def _fold(delta: GrammarDelta) -> None:
+        if telemetry.enabled:
+            telemetry.observe("train.chunk.seconds", delta.seconds)
+        with telemetry.timer("train.merge.seconds"):
+            merger.apply(grammar, delta)
+
+    with telemetry.timer("train.parallel.seconds"):
+        with _training_pool(parser, jobs) as pool:
+            for chunk in chunks:
+                if not chunk:
+                    continue
+                trained += len(chunk)
+                window.append(pool.apply_async(_delta_chunk, (chunk,)))
+                if len(window) >= max_inflight:
+                    _fold(window.popleft().get())
+            while window:
+                _fold(window.popleft().get())
+    if telemetry.enabled:
+        telemetry.incr("train.passwords", trained)
     return grammar

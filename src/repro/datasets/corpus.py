@@ -88,6 +88,30 @@ class PasswordCorpus:
             for _ in range(count):
                 yield password
 
+    def iter_chunks(
+        self, chunk_size: int
+    ) -> Iterator[List[Tuple[str, int]]]:
+        """Yield ``(password, count)`` batches of at most ``chunk_size``.
+
+        The in-memory twin of
+        :func:`repro.datasets.loaders.stream_corpus_chunks`, so an
+        already-loaded corpus can feed
+        :func:`repro.core.training.train_grammar_streaming` through the
+        same chunked interface as an on-disk file.
+        """
+        if chunk_size <= 0:
+            raise ValueError(
+                f"chunk_size must be positive, got {chunk_size}"
+            )
+        chunk: List[Tuple[str, int]] = []
+        for entry in self._distribution.items():
+            chunk.append(entry)
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
     # --- derived corpora ------------------------------------------------
 
     def split(self, fractions: Sequence[float],

@@ -9,14 +9,138 @@ Two on-disk formats are supported, covering how leaked lists circulate:
 If you have the real Rockyou/Tianya/... lists, load them with these
 functions and every experiment runs on the genuine data instead of the
 synthetic stand-ins.
+
+Two access regimes share the same line-level semantics:
+
+* :func:`load_corpus` materialises a whole file into a
+  :class:`~repro.datasets.corpus.PasswordCorpus` (deduplicated counts)
+  — right for evaluation sets and anything that fits in memory;
+* :func:`iter_password_entries` / :func:`stream_corpus_chunks` stream
+  ``(password, count)`` entries off disk without materialising the
+  corpus — the out-of-core feed for
+  :func:`repro.core.training.train_grammar_streaming`, where corpora
+  are RockYou-scale and memory must stay flat.
+
+Both regimes apply identical filtering (empty lines, malformed counted
+lines, over-length passwords) in identical order, so a streamed pass
+sees exactly the entries a ``load_corpus(...).expand()`` pass would.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
-from typing import Optional
+import resource
+from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro import obs
+from repro.obs.core import now as _now
 from repro.datasets.corpus import PasswordCorpus
+
+#: Lines inspected by the ``auto`` format sniffer (both regimes).
+_SNIFF_LINES = 100
+
+#: Default streaming batch size: large enough to amortise per-chunk
+#: messaging in the parallel trainer, small enough that a few in-flight
+#: chunks of 64-char-max passwords stay well under typical RSS budgets.
+DEFAULT_STREAM_CHUNK = 50_000
+
+
+def _iter_lines(path: str, encoding: str,
+                errors: str) -> Iterator[str]:
+    """Yield lines with trailing newlines stripped, one at a time."""
+    with open(path, encoding=encoding, errors=errors) as handle:
+        for line in handle:
+            yield line.rstrip("\r\n")
+
+
+def _parse_line(line: str, fmt: str,
+                max_length: int) -> Optional[Tuple[str, int]]:
+    """One line's ``(password, count)``, or None when filtered out."""
+    if not line:
+        return None
+    if fmt == "counted":
+        head, _, password = line.strip().partition(" ")
+        if not head.isdigit() or not password:
+            return None
+        count = int(head)
+    else:
+        password, count = line, 1
+    if len(password) > max_length:
+        return None
+    return password, count
+
+
+def iter_password_entries(
+    path: str, fmt: str = "auto", encoding: str = "utf-8",
+    errors: str = "replace", max_length: int = 64,
+) -> Iterator[Tuple[str, int]]:
+    """Stream ``(password, count)`` entries from a corpus file.
+
+    The out-of-core reader: one line is held at a time (plus the small
+    sniff buffer when ``fmt="auto"``), so RockYou-scale files stream in
+    constant memory.  Filtering matches :func:`load_corpus` exactly;
+    duplicates are **not** merged — a plain file with ``password`` on
+    three lines yields three entries, like ``PasswordCorpus.expand``.
+    """
+    if fmt not in ("plain", "counted", "auto"):
+        raise ValueError(f"unknown format {fmt!r}")
+    lines = _iter_lines(path, encoding, errors)
+    head: List[str] = []
+    if fmt == "auto":
+        for line in lines:
+            head.append(line)
+            if len(head) >= _SNIFF_LINES:
+                break
+        fmt = _sniff_format(head)
+    # Replay the sniff buffer, then continue with the live handle.
+    for line in itertools.chain(head, lines):
+        entry = _parse_line(line, fmt, max_length)
+        if entry is not None:
+            yield entry
+
+
+def stream_corpus_chunks(
+    path: str, chunk_size: int = DEFAULT_STREAM_CHUNK,
+    fmt: str = "auto", encoding: str = "utf-8",
+    errors: str = "replace", max_length: int = 64,
+) -> Iterator[List[Tuple[str, int]]]:
+    """Stream a corpus file as bounded ``(password, count)`` batches.
+
+    The feed for ``train_grammar_streaming`` and ``repro train
+    --stream-chunk``: each yielded list holds at most ``chunk_size``
+    entries, so downstream memory is governed by the chunk size, never
+    the corpus.  Telemetry (when enabled) records per-chunk read
+    latency (``stream.chunk.seconds``), chunk and entry counters
+    (``stream.chunks`` / ``stream.entries``) and the process RSS
+    high-water mark after each chunk (``stream.rss_kib`` — the
+    flat-memory evidence the training bench asserts on).
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    telemetry = obs.get()
+    entries = iter_password_entries(
+        path, fmt=fmt, encoding=encoding, errors=errors,
+        max_length=max_length,
+    )
+    while True:
+        start = _now()
+        chunk: List[Tuple[str, int]] = []
+        for entry in entries:
+            chunk.append(entry)
+            if len(chunk) >= chunk_size:
+                break
+        if not chunk:
+            return
+        if telemetry.enabled:
+            telemetry.observe("stream.chunk.seconds", _now() - start)
+            telemetry.incr("stream.chunks")
+            telemetry.incr("stream.entries", len(chunk))
+            telemetry.observe(
+                "stream.rss_kib",
+                float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+            )
+        yield chunk
 
 
 def load_corpus(path: str, fmt: str = "auto", name: Optional[str] = None,
@@ -31,26 +155,12 @@ def load_corpus(path: str, fmt: str = "auto", name: Optional[str] = None,
         max_length: lines longer than this are dropped (leak files
             contain binary junk; the paper caps Lmax around 20-30).
     """
-    if fmt not in ("plain", "counted", "auto"):
-        raise ValueError(f"unknown format {fmt!r}")
     name = name or os.path.splitext(os.path.basename(path))[0]
-    with open(path, encoding=encoding, errors=errors) as handle:
-        lines = [line.rstrip("\r\n") for line in handle]
-    if fmt == "auto":
-        fmt = _sniff_format(lines)
     counts = {}
-    for line in lines:
-        if not line:
-            continue
-        if fmt == "counted":
-            head, _, password = line.strip().partition(" ")
-            if not head.isdigit() or not password:
-                continue
-            count = int(head)
-        else:
-            password, count = line, 1
-        if len(password) > max_length:
-            continue
+    for password, count in iter_password_entries(
+        path, fmt=fmt, encoding=encoding, errors=errors,
+        max_length=max_length,
+    ):
         counts[password] = counts.get(password, 0) + count
     return PasswordCorpus(counts, name=name)
 
@@ -69,9 +179,9 @@ def save_corpus(corpus: PasswordCorpus, path: str,
                 handle.write(password + "\n")
 
 
-def _sniff_format(lines) -> str:
+def _sniff_format(lines: Iterable[str]) -> str:
     """Guess ``counted`` when the leading token of most lines is a count."""
-    sample = [line for line in lines[:100] if line.strip()]
+    sample = [line for line in list(lines)[:_SNIFF_LINES] if line.strip()]
     if not sample:
         return "plain"
     counted = 0

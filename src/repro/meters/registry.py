@@ -94,6 +94,13 @@ class Capability(enum.Enum):
     PARALLEL_SCORABLE = "parallel-scorable"
     #: ``to_dict``/``from_dict`` snapshot round-trips.
     PERSISTABLE = "persistable"
+    #: ``to_buffers``/``from_buffers`` flat-column snapshots — the
+    #: array-backed binary model format (``save_meter(..., fmt=
+    #: "binary")``), loadable via mmap without JSON parsing.
+    BINARY_PERSISTABLE = "binary-persistable"
+    #: ``cls.train_streaming(...)`` builds the meter from an
+    #: out-of-core chunk stream (``repro train --stream-chunk``).
+    STREAM_TRAINABLE = "stream-trainable"
 
 
 @runtime_checkable
@@ -157,6 +164,35 @@ class Persistable(Protocol):
         ...
 
 
+@runtime_checkable
+class BinaryPersistable(Protocol):
+    """A meter with flat-column snapshot/restore for the binary format.
+
+    ``to_buffers`` returns ``(meta, sections)``: a JSON-safe metadata
+    dict plus an ordered mapping of named flat columns (``array('q')``
+    integer columns and ``str`` blobs).  ``from_buffers`` rebuilds the
+    meter from exactly those two values.  The contract mirrors
+    :class:`Persistable` — a binary round trip must reproduce the same
+    model ``to_dict`` as a JSON round trip.
+    """
+
+    def to_buffers(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        ...
+
+    def from_buffers(
+        self, meta: Dict[str, Any], sections: Dict[str, Any]
+    ) -> Any:
+        ...
+
+
+@runtime_checkable
+class StreamTrainable(Protocol):
+    """A meter buildable from an out-of-core stream of entry chunks."""
+
+    def train_streaming(self, *args: Any, **kwargs: Any) -> Any:
+        ...
+
+
 #: Methods each declared capability promises on the class.
 _CAPABILITY_METHODS: Dict[Capability, Tuple[str, ...]] = {
     Capability.TRAINABLE: ("train",),
@@ -164,6 +200,8 @@ _CAPABILITY_METHODS: Dict[Capability, Tuple[str, ...]] = {
     Capability.BATCH_SCORABLE: ("probability_many", "entropy_many"),
     Capability.PARALLEL_SCORABLE: ("probability_many", "entropy_many"),
     Capability.PERSISTABLE: ("to_dict", "from_dict"),
+    Capability.BINARY_PERSISTABLE: ("to_buffers", "from_buffers"),
+    Capability.STREAM_TRAINABLE: ("train_streaming",),
 }
 
 #: Capabilities whose promised methods must also accept these keyword

@@ -85,6 +85,26 @@ class ZxcvbnMeter(Meter):
     def probability(self, password: str) -> float:
         return entropy_to_probability(self.entropy(password))
 
+    def probability_many(self, passwords: Iterable[str]) -> List[float]:
+        """Batch scoring, computing each distinct password once.
+
+        Scoring streams repeat passwords heavily (a leaked corpus is a
+        frequency distribution) and ``probability`` is a pure function
+        of the password, so a per-batch memo is bit-identical to the
+        base-class loop while skipping the repeated matcher work.
+        ``entropy_many`` inherits the base derivation and picks the
+        same memoised path up automatically.
+        """
+        memo: Dict[str, float] = {}
+        out: List[float] = []
+        for password in passwords:
+            value = memo.get(password)
+            if value is None:
+                value = self.probability(password)
+                memo[password] = value
+            out.append(value)
+        return out
+
     def report(self, password: str) -> StrengthReport:
         """The user-facing bundle: entropy, crack time, 0-4 score."""
         return strength_report(password, self.entropy(password))

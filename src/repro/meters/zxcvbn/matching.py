@@ -32,6 +32,21 @@ L33T_TABLE: Dict[str, Sequence[str]] = {
     "z": ("2",),
 }
 
+#: The inverse table, substitute -> letters it can stand for, with the
+#: letters in ``L33T_TABLE`` order.  Precomputed once at import: the
+#: l33t matcher consults it per password, and rebuilding the inversion
+#: per call was measurable across a large scoring batch.
+L33T_BY_SUBSTITUTE: Dict[str, Tuple[str, ...]] = {}
+for _letter, _substitutes in L33T_TABLE.items():
+    for _substitute in _substitutes:
+        L33T_BY_SUBSTITUTE.setdefault(_substitute, ())
+        L33T_BY_SUBSTITUTE[_substitute] += (_letter,)
+del _letter, _substitutes, _substitute
+
+#: Every character that can be a l33t substitute — the fast "no leet
+#: here" test for the common all-letters password.
+_ALL_SUBSTITUTES = frozenset(L33T_BY_SUBSTITUTE)
+
 #: Sequence spaces for the sequence matcher.
 SEQUENCES = {
     "lower": "abcdefghijklmnopqrstuvwxyz",
@@ -87,6 +102,23 @@ class MatchCollector:
         self._dictionaries = ranked_dictionaries
         self._graphs = graphs if graphs is not None else default_graphs()
         self._max_l33t_variants = max_l33t_variants
+        # Word-length bounds, compiled once and shared by every lookup
+        # in the batch: a substring longer than a dictionary's longest
+        # word (or shorter than its shortest) cannot match, so the
+        # O(n^2) substring scan both caps its inner loop at the global
+        # maximum and skips whole dictionaries per piece length.
+        # Dictionaries are treated as fixed from here on.
+        self._tables: List[Tuple[str, Dict[str, int], int, int]] = []
+        for name, table in ranked_dictionaries.items():
+            if not table:
+                continue
+            lengths = [len(word) for word in table]
+            self._tables.append(
+                (name, table, min(lengths), max(lengths))
+            )
+        self._max_word_length = max(
+            (longest for _, _, _, longest in self._tables), default=0
+        )
 
     def all_matches(self, password: str) -> List[Match]:
         matches: List[Match] = []
@@ -107,10 +139,15 @@ class MatchCollector:
         lowered = lowered if lowered is not None else password.lower()
         matches = []
         n = len(password)
+        tables = self._tables
+        longest = self._max_word_length
         for i in range(n):
-            for j in range(i, n):
+            for j in range(i, min(n, i + longest)):
                 piece = lowered[i:j + 1]
-                for name, table in self._dictionaries.items():
+                piece_length = j - i + 1
+                for name, table, shortest, length_cap in tables:
+                    if piece_length < shortest or piece_length > length_cap:
+                        continue
                     rank = table.get(piece)
                     if rank is not None:
                         matches.append(
@@ -151,7 +188,11 @@ class MatchCollector:
 
     def _relevant_substitutions(self, password: str) -> Dict[str, List[str]]:
         """letter -> substitutes of it that appear in the password."""
-        present = set(password)
+        present = set(password) & _ALL_SUBSTITUTES
+        if not present:
+            # The common case — no substitute characters at all —
+            # short-circuits before touching the per-letter table.
+            return {}
         table: Dict[str, List[str]] = {}
         for letter, substitutes in L33T_TABLE.items():
             found = [sub for sub in substitutes if sub in present]

@@ -1,4 +1,4 @@
-"""Saving and loading trained meters as JSON files.
+"""Saving and loading trained meters: JSON and binary model files.
 
 Trained meters are artefacts a deployment builds once and ships; this
 module gives every registered :class:`Persistable` meter a common
@@ -20,18 +20,51 @@ to make it saveable and loadable — there is no per-kind table here.
 Output is deterministic: keys are sorted, so saving the same model
 twice produces byte-identical files (required for artefact diffing
 and content-addressed caches).
+
+Meters that additionally declare ``binary-persistable``
+(``to_buffers``/``from_buffers``) support a second, array-backed
+format — ``save_meter(meter, path, fmt="binary")``.  A RockYou-scale
+JSON model spends its load time inside the JSON parser building
+per-key Python objects; the binary format instead stores every count
+table as a flat ``int64`` column and every string table as one UTF-8
+blob plus a length column, memory-maps the file and reads the columns
+zero-copy.  The layout::
+
+    magic "FPSMBIN1" | uint64 header length | header JSON | pad
+    | section payloads (each 8-byte aligned)
+
+The header is the versioned envelope (binary format version, the JSON
+envelope's ``format_version``, ``kind``, capability list, byte order,
+meter metadata and the section directory).  :func:`load_meter` sniffs
+the magic, so both formats load through the same call.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+import mmap
+import sys
+from array import array
+from typing import Any, Dict, List, Tuple
 
 from repro.meters import registry
 from repro.meters.base import Meter
 from repro.meters.registry import Capability, MeterSpec
 
 FORMAT_VERSION = 1
+
+#: Leading bytes of a binary model file; the trailing digit is bumped
+#: together with :data:`BINARY_FORMAT_VERSION` on layout changes, so a
+#: stale reader fails on the magic before trusting any offset.
+BINARY_MAGIC = b"FPSMBIN1"
+
+#: Version of the binary layout recorded in (and checked against) the
+#: header envelope.
+BINARY_FORMAT_VERSION = 1
+
+#: Payload sections are padded to this alignment so ``int64`` columns
+#: can be cast straight out of the mapped file.
+_ALIGN = 8
 
 #: Backwards-compatible alias: any registered meter can be persisted
 #: as long as its registry entry declares :data:`Capability.PERSISTABLE`.
@@ -99,11 +132,240 @@ def meter_from_dict(document: Dict[str, Any]) -> Meter:
     return spec.cls.from_dict(document["model"])
 
 
-def save_meter(meter: Meter, path: str) -> None:
-    """Write a trained meter to a JSON file (deterministic bytes)."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(meter_to_dict(meter), handle, sort_keys=True)
-        handle.write("\n")
+def save_meter(meter: Meter, path: str, fmt: str = "json") -> None:
+    """Write a trained meter to disk (deterministic bytes).
+
+    Args:
+        meter: a registered persistable meter.
+        path: output file.
+        fmt: ``json`` (the portable envelope) or ``binary`` (the
+            array-backed mmap-fast format; requires the meter's
+            registry entry to declare ``binary-persistable``).
+    """
+    if fmt == "json":
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(meter_to_dict(meter), handle, sort_keys=True)
+            handle.write("\n")
+    elif fmt == "binary":
+        _save_meter_binary(meter, path)
+    else:
+        raise ValueError(f"unknown model format {fmt!r}")
+
+
+# --- binary model format ----------------------------------------------------
+
+
+def _binary_spec(meter: Meter) -> MeterSpec:
+    """The registry spec for a meter, verified binary-persistable."""
+    spec = _persistable_spec(meter)
+    if not spec.has(Capability.BINARY_PERSISTABLE):
+        supported = ", ".join(
+            registry.kinds_with(Capability.BINARY_PERSISTABLE)
+        )
+        raise TypeError(
+            f"meter kind {spec.kind!r} has no binary format; "
+            f"supported: {supported}"
+        )
+    return spec
+
+
+def _encode_section(value: Any) -> Tuple[str, bytes, int]:
+    """``(dtype, payload, count)`` for one section value."""
+    if isinstance(value, array):
+        if value.typecode != "q":
+            raise TypeError(
+                f"binary sections must be array('q'), got "
+                f"array({value.typecode!r})"
+            )
+        return "i64", value.tobytes(), len(value)
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return "utf8", payload, len(payload)
+    raise TypeError(
+        f"binary sections must be array('q') or str, got "
+        f"{type(value).__name__}"
+    )
+
+
+def _save_meter_binary(meter: Meter, path: str) -> None:
+    """Write the magic/header/aligned-sections binary layout."""
+    spec = _binary_spec(meter)
+    meta, sections = meter.to_buffers()
+    directory: List[Dict[str, Any]] = []
+    payloads: List[Tuple[int, bytes]] = []
+    # Offsets are absolute file positions, assigned after the header
+    # is rendered (the directory itself does not shift them: it is
+    # rendered with final offsets in one pass below).
+    encoded = []
+    for name, value in sections.items():
+        dtype, payload, count = _encode_section(value)
+        encoded.append((name, dtype, payload, count))
+
+    def _render_header(offsets: List[int]) -> bytes:
+        header = {
+            "binary_format_version": BINARY_FORMAT_VERSION,
+            "format_version": FORMAT_VERSION,
+            "kind": spec.kind,
+            "capabilities": spec.capability_names(),
+            "byteorder": sys.byteorder,
+            "meta": meta,
+            "sections": [
+                {
+                    "name": name,
+                    "dtype": dtype,
+                    "offset": offset,
+                    "length": len(payload),
+                    "count": count,
+                }
+                for (name, dtype, payload, count), offset in zip(
+                    encoded, offsets
+                )
+            ],
+        }
+        return json.dumps(header, sort_keys=True).encode("utf-8")
+
+    # Header length depends on the offsets and vice versa; iterate to
+    # a fixed point (two passes suffice — offsets only grow when the
+    # header grows, and digit-count growth converges immediately).
+    offsets = [0] * len(encoded)
+    for _ in range(4):
+        header_bytes = _render_header(offsets)
+        base = len(BINARY_MAGIC) + 8 + len(header_bytes)
+        base += (-base) % _ALIGN
+        new_offsets = []
+        position = base
+        for _name, _dtype, payload, _count in encoded:
+            new_offsets.append(position)
+            position += len(payload)
+            position += (-position) % _ALIGN
+        if new_offsets == offsets:
+            break
+        offsets = new_offsets
+    header_bytes = _render_header(offsets)
+    with open(path, "wb") as handle:
+        handle.write(BINARY_MAGIC)
+        handle.write(len(header_bytes).to_bytes(8, "little"))
+        handle.write(header_bytes)
+        position = len(BINARY_MAGIC) + 8 + len(header_bytes)
+        for (_name, _dtype, payload, _count), offset in zip(
+            encoded, offsets
+        ):
+            handle.write(b"\0" * (offset - position))
+            handle.write(payload)
+            position = offset + len(payload)
+
+
+def _binary_error(path: str, reason: str) -> ValueError:
+    return ValueError(f"{path} is not a valid binary meter file: {reason}")
+
+
+def _load_meter_binary(path: str) -> Meter:
+    """Map a binary model file and rebuild its meter.
+
+    Integer columns are read zero-copy (``memoryview.cast``) out of the
+    mapping; the meter's ``from_buffers`` materialises its own tables,
+    after which the mapping is closed.
+    """
+    with open(path, "rb") as handle:
+        try:
+            mapped = mmap.mmap(
+                handle.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except ValueError as error:  # empty file cannot be mapped
+            raise _binary_error(path, str(error)) from error
+    meter = _parse_binary_mapping(path, mapped)
+    # All zero-copy views live in the parser frame, which has returned;
+    # the error paths leave the mapping to the garbage collector
+    # instead (closing with exported views would raise BufferError and
+    # mask the real diagnostic).
+    mapped.close()
+    return meter
+
+
+def _parse_binary_mapping(path: str, mapped: mmap.mmap) -> Meter:
+    """Validate the header and rebuild the meter from a live mapping."""
+    view = memoryview(mapped)
+    prefix = len(BINARY_MAGIC) + 8
+    if len(view) < prefix:
+        raise _binary_error(path, "truncated before header")
+    header_length = int.from_bytes(
+        view[len(BINARY_MAGIC):prefix], "little"
+    )
+    if len(view) < prefix + header_length:
+        raise _binary_error(path, "truncated inside header")
+    try:
+        header = json.loads(
+            bytes(view[prefix:prefix + header_length]).decode("utf-8")
+        )
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise _binary_error(
+            path, f"corrupt header: {error}"
+        ) from error
+    if not isinstance(header, dict):
+        raise _binary_error(path, "header must be a JSON object")
+    version = header.get("binary_format_version")
+    if version != BINARY_FORMAT_VERSION:
+        raise _binary_error(
+            path,
+            f"unsupported binary format version {version!r} "
+            f"(this build reads version {BINARY_FORMAT_VERSION})",
+        )
+    kind = header.get("kind")
+    known = ", ".join(
+        registry.kinds_with(Capability.BINARY_PERSISTABLE)
+    )
+    if not isinstance(kind, str):
+        raise _binary_error(
+            path, f"unknown meter kind {kind!r}; known: {known}"
+        )
+    try:
+        spec = registry.get_spec(kind)
+    except ValueError:
+        raise _binary_error(
+            path, f"unknown meter kind {kind!r}; known: {known}"
+        ) from None
+    if not spec.has(Capability.BINARY_PERSISTABLE):
+        raise _binary_error(
+            path,
+            f"meter kind {spec.kind!r} has no binary format; "
+            f"loadable kinds: {known}",
+        )
+    swap = header.get("byteorder") != sys.byteorder
+    sections: Dict[str, Any] = {}
+    for entry in header.get("sections", []):
+        name = entry["name"]
+        offset = entry["offset"]
+        length = entry["length"]
+        if offset + length > len(view):
+            raise _binary_error(
+                path, f"truncated section {name!r}"
+            )
+        raw = view[offset:offset + length]
+        if entry["dtype"] == "i64":
+            if length % 8:
+                raise _binary_error(
+                    path, f"misaligned i64 section {name!r}"
+                )
+            if swap:
+                column = array("q")
+                column.frombytes(raw)
+                column.byteswap()
+                sections[name] = column
+            else:
+                sections[name] = raw.cast("q")
+        elif entry["dtype"] == "utf8":
+            sections[name] = bytes(raw).decode("utf-8")
+        else:
+            raise _binary_error(
+                path, f"unknown section dtype {entry['dtype']!r}"
+            )
+    meta = header.get("meta", {})
+    try:
+        return spec.cls.from_buffers(meta, sections)
+    except (KeyError, IndexError, TypeError) as error:
+        raise _binary_error(
+            path, f"corrupt section data: {error}"
+        ) from error
 
 
 # --- telemetry snapshots ----------------------------------------------------
@@ -153,10 +415,19 @@ def load_telemetry_report(path: str) -> dict:
 def load_meter(path: str) -> Meter:
     """Read a trained meter back; the concrete class is restored.
 
+    Both on-disk formats load through this call: the leading bytes are
+    sniffed, files starting with :data:`BINARY_MAGIC` take the
+    memory-mapped binary path and anything else is parsed as the JSON
+    envelope.
+
     Raises:
-        ValueError: the file is not valid JSON or is not a supported
-            meter document (see :func:`meter_from_dict`).
+        ValueError: the file is not a supported meter document in
+            either format (see :func:`meter_from_dict`).
     """
+    with open(path, "rb") as handle:
+        magic = handle.read(len(BINARY_MAGIC))
+    if magic == BINARY_MAGIC:
+        return _load_meter_binary(path)
     with open(path, encoding="utf-8") as handle:
         try:
             document = json.load(handle)

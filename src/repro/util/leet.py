@@ -39,6 +39,17 @@ LEET_RULES: Dict[str, Tuple[str, str]] = {
 
 LEET_RULE_NAMES: Tuple[str, ...] = tuple(name for name, _, _ in LEET_PAIRS)
 
+#: character -> 0-based leet rule number, both directions of a pair
+#: (``"a" -> 0`` and ``"@" -> 0``); the integer-index twin of
+#: :func:`repro.core.grammar.leet_rule_for_char`, shared by the frozen
+#: scoring kernel and the training delta builder so both derive rule
+#: membership without per-call string work.
+LEET_RULE_INDEX: Dict[str, int] = {}
+for _index, (_name, _letter, _sub) in enumerate(LEET_PAIRS):
+    LEET_RULE_INDEX[_letter] = _index
+    LEET_RULE_INDEX[_sub] = _index
+del _index, _name, _letter, _sub
+
 
 def deleet(text: str) -> Tuple[str, FrozenSet[str]]:
     """Undo leet substitutions, returning ``(base_text, rules_used)``.

@@ -151,8 +151,8 @@ class TestMeters:
         assert set(self.SEED_KINDS) <= set(listing)
         fuzzy = listing["fuzzypsm"]
         assert fuzzy["capabilities"] == [
-            "batch-scorable", "parallel-scorable", "persistable",
-            "trainable", "updatable",
+            "batch-scorable", "binary-persistable", "parallel-scorable",
+            "persistable", "stream-trainable", "trainable", "updatable",
         ]
         assert fuzzy["requires_base_dictionary"] is True
         assert listing["zxcvbn"]["requires_base_dictionary"] is False

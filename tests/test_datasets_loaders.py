@@ -3,7 +3,12 @@
 import pytest
 
 from repro.datasets.corpus import PasswordCorpus
-from repro.datasets.loaders import load_corpus, save_corpus
+from repro.datasets.loaders import (
+    iter_password_entries,
+    load_corpus,
+    save_corpus,
+    stream_corpus_chunks,
+)
 
 
 @pytest.fixture()
@@ -101,3 +106,59 @@ class TestValidation:
         path = tmp_path / "file.txt"
         save_corpus(corpus, str(path))
         assert load_corpus(str(path), name="custom").name == "custom"
+
+
+class TestStreamingEntries:
+    """iter_password_entries / stream_corpus_chunks: the out-of-core path."""
+
+    def test_entries_match_in_memory_loader(self, corpus, tmp_path):
+        path = str(tmp_path / "counted.txt")
+        save_corpus(corpus, path, fmt="counted")
+        streamed = {}
+        for password, count in iter_password_entries(path):
+            streamed[password] = streamed.get(password, 0) + count
+        assert streamed == dict(load_corpus(path).items())
+
+    def test_plain_file_yields_unit_counts(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("abc\nabc\nxyz\n")
+        assert list(iter_password_entries(str(path))) == [
+            ("abc", 1), ("abc", 1), ("xyz", 1),
+        ]
+
+    def test_chunks_are_bounded_and_ordered(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("\n".join(f"pw{i}" for i in range(10)) + "\n")
+        chunks = list(stream_corpus_chunks(str(path), chunk_size=4))
+        assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+        flat = [password for chunk in chunks for password, _ in chunk]
+        assert flat == [f"pw{i}" for i in range(10)]
+
+    def test_chunk_size_validated(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("abc\n")
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(stream_corpus_chunks(str(path), chunk_size=0))
+
+    def test_stream_telemetry(self, tmp_path):
+        from repro import obs
+        path = tmp_path / "plain.txt"
+        path.write_text("\n".join(f"pw{i}" for i in range(10)) + "\n")
+        with obs.session() as telemetry:
+            list(stream_corpus_chunks(str(path), chunk_size=4))
+            snapshot = telemetry.snapshot()
+        assert snapshot["counters"]["stream.chunks"] == 3
+        assert snapshot["counters"]["stream.entries"] == 10
+        assert snapshot["histograms"]["stream.chunk.seconds"]["count"] == 3
+        assert snapshot["histograms"]["stream.rss_kib"]["count"] == 3
+
+    def test_corpus_iter_chunks(self, corpus):
+        chunks = list(corpus.iter_chunks(2))
+        assert [len(chunk) for chunk in chunks] == [2, 1]
+        merged = {}
+        for chunk in chunks:
+            for password, count in chunk:
+                merged[password] = merged.get(password, 0) + count
+        assert merged == dict(corpus.items())
+        with pytest.raises(ValueError):
+            list(corpus.iter_chunks(0))

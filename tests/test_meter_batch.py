@@ -96,11 +96,16 @@ class TestParallelTraining:
     @pytest.fixture(autouse=True)
     def _force_pool(self, monkeypatch):
         # The small-corpus fallback would route every fixture-sized
-        # corpus here through the serial path (see
-        # tests/test_training_fallback.py for that behaviour); drop the
-        # cutoff so the pool machinery itself stays under test.
+        # corpus here through the serial path, and the CPU clamp would
+        # do the same on a single-core CI host (see
+        # tests/test_training_fallback.py for those behaviours); drop
+        # the cutoff and pretend to be multicore so the pool machinery
+        # itself stays under test.
         monkeypatch.setattr(
             "repro.core.training.PARALLEL_MIN_ENTRIES", 0
+        )
+        monkeypatch.setattr(
+            "repro.core.training._available_cpus", lambda: 2
         )
 
     def test_jobs2_equals_serial(self, rng):

@@ -44,8 +44,8 @@ class TestCatalogue:
     def test_fuzzypsm_declares_full_lifecycle(self):
         spec = registry.get_spec("fuzzypsm")
         assert spec.capability_names() == [
-            "batch-scorable", "parallel-scorable", "persistable",
-            "trainable", "updatable",
+            "batch-scorable", "binary-persistable", "parallel-scorable",
+            "persistable", "stream-trainable", "trainable", "updatable",
         ]
         assert spec.requires_base_dictionary
 

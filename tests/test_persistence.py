@@ -129,8 +129,8 @@ class TestDocumentFormat:
 
     def test_envelope_carries_capability_list(self, fuzzy, pcfg):
         assert meter_to_dict(fuzzy)["capabilities"] == [
-            "batch-scorable", "parallel-scorable", "persistable",
-            "trainable", "updatable",
+            "batch-scorable", "binary-persistable", "parallel-scorable",
+            "persistable", "stream-trainable", "trainable", "updatable",
         ]
         assert meter_to_dict(pcfg)["capabilities"] == [
             "batch-scorable", "persistable", "trainable", "updatable",

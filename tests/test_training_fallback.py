@@ -31,6 +31,14 @@ def trie():
 
 
 @pytest.fixture()
+def multicore(monkeypatch):
+    """Pretend the host has two cores so the CPU clamp stays out of
+    the way (tests below that *want* the pool must not silently fall
+    back on a single-core CI machine)."""
+    monkeypatch.setattr(training, "_available_cpus", lambda: 2)
+
+
+@pytest.fixture()
 def pool_spy(monkeypatch):
     """Count ``_train_grammar_parallel`` invocations, still delegating."""
     calls = []
@@ -93,17 +101,19 @@ class TestFallbackResult:
 
 
 class TestThreshold:
-    def test_pool_runs_at_or_above_threshold(self, trie, pool_spy):
+    def test_pool_runs_at_or_above_threshold(self, trie, pool_spy,
+                                             multicore):
         train_grammar(TRAINING_PASSWORDS, trie, jobs=2,
                       parallel_threshold=len(TRAINING_PASSWORDS))
         assert pool_spy == [len(TRAINING_PASSWORDS)]
 
-    def test_override_forces_fallback(self, trie, pool_spy):
+    def test_override_forces_fallback(self, trie, pool_spy, multicore):
         train_grammar(TRAINING_PASSWORDS, trie, jobs=2,
                       parallel_threshold=len(TRAINING_PASSWORDS) + 1)
         assert pool_spy == []
 
-    def test_module_cutoff_is_patchable(self, trie, pool_spy, monkeypatch):
+    def test_module_cutoff_is_patchable(self, trie, pool_spy,
+                                        multicore, monkeypatch):
         # The default is read at call time, so test suites (and tuning
         # forks) can lower it without threading a parameter through.
         monkeypatch.setattr(training, "PARALLEL_MIN_ENTRIES", 1)
@@ -122,10 +132,57 @@ class TestThreshold:
         assert actual == expected
         assert pool_spy == []
 
-    def test_empty_corpus_with_zero_threshold(self, trie):
+    def test_empty_corpus_with_zero_threshold(self, trie, multicore):
         # len([]) < 0 is False, so a zero threshold reaches the pool
         # helper, which must short-circuit before spawning workers.
         assert (
             train_grammar([], trie, jobs=2, parallel_threshold=0)
             == FuzzyGrammar()
         )
+
+
+class TestCpuClamp:
+    """``jobs`` beyond the core count degrade to serial, observably."""
+
+    def test_single_core_host_never_pools(self, trie, pool_spy,
+                                          monkeypatch):
+        monkeypatch.setattr(training, "_available_cpus", lambda: 1)
+        with obs.session() as telemetry:
+            grammar = train_grammar(
+                TRAINING_PASSWORDS, trie, jobs=4, parallel_threshold=0
+            )
+            counters = telemetry.snapshot()["counters"]
+        assert pool_spy == []
+        assert counters["train.fallback.serial"] == 1
+        assert counters["training.parallel.fallback"] == 1
+        assert grammar == train_grammar(TRAINING_PASSWORDS, trie)
+
+    def test_jobs_clamped_to_core_count(self, trie, monkeypatch):
+        monkeypatch.setattr(training, "_available_cpus", lambda: 2)
+        seen = []
+        original = training._train_grammar_parallel
+
+        def spy(entries, parser, jobs):
+            seen.append(jobs)
+            return original(entries, parser, jobs)
+
+        monkeypatch.setattr(training, "_train_grammar_parallel", spy)
+        train_grammar(TRAINING_PASSWORDS, trie, jobs=8,
+                      parallel_threshold=0)
+        assert seen == [2]
+
+    def test_streaming_single_core_falls_back(self, trie, monkeypatch):
+        monkeypatch.setattr(training, "_available_cpus", lambda: 1)
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("pool started on a single-core host")
+
+        monkeypatch.setattr(training, "_train_streaming_parallel", boom)
+        with obs.session() as telemetry:
+            grammar = training.train_grammar_streaming(
+                iter([TRAINING_PASSWORDS]), trie,
+                jobs=2, parallel_threshold=0,
+            )
+            counters = telemetry.snapshot()["counters"]
+        assert counters["training.parallel.fallback"] == 1
+        assert grammar == train_grammar(TRAINING_PASSWORDS, trie)
