@@ -21,7 +21,8 @@ bench-smoke:
 		benchmarks/test_timing_scoring_engine.py \
 		benchmarks/test_timing_batch_scoring.py \
 		benchmarks/test_timing_training_engine.py \
-		benchmarks/test_timing_measure.py -q
+		benchmarks/test_timing_measure.py \
+		benchmarks/test_timing_lint.py -q
 
 examples:
 	@for script in examples/*.py; do \
@@ -34,10 +35,11 @@ reproduce:
 	PYTHONPATH=src python -m pytest tests/ 2>&1 | tee test_output.txt
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-# The static-analysis gate: the domain linter always runs; ruff and
-# mypy run when installed (they are not baked into every container).
+# The static-analysis gate: the domain linter always runs — strict
+# over src/, relaxed profile over tests/benchmarks/tools/examples —
+# and ruff/mypy run when installed (not baked into every container).
 lint:
-	PYTHONPATH=src python -m repro lint src/repro
+	PYTHONPATH=src python -m repro lint src/repro tests benchmarks tools examples
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests; \
 	else \
@@ -62,4 +64,5 @@ coverage:
 
 clean:
 	rm -rf .pytest_cache .benchmarks build *.egg-info .coverage htmlcov coverage.xml
+	rm -f .repro_lint_cache.json lint.sarif
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,79 @@
+"""Timing bench for the incremental lint cache (DESIGN.md §13).
+
+Lints the real repository surface cold (no cache file), then warm
+(byte-identical tree, fully-warm fast path: the cached run replays
+with zero parsing).  Asserts the two reports are identical and — at
+full scale — that warm is at least 5x faster than cold, recording
+both wall times to ``BENCH_timing.json``.
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_timing_lint.py -q
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+import bench_lib
+
+from repro import obs
+from repro.analysis import lint_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: The same surface ``make lint`` gates.
+LINT_TARGETS = [
+    str(REPO_ROOT / name)
+    for name in ("src/repro", "tests", "benchmarks", "tools", "examples")
+    if (REPO_ROOT / name).exists()
+]
+
+#: The fully-warm path must beat a cold run by at least this factor:
+#: it replays the stored report without parsing a single file.
+MIN_WARM_SPEEDUP = 5.0
+
+
+def test_warm_cache_beats_cold_lint(tmp_path, capsys):
+    cache_path = str(tmp_path / "lint_cache.json")
+
+    start = time.perf_counter()
+    cold_violations, files_checked = lint_paths(
+        LINT_TARGETS, cache_path=cache_path
+    )
+    cold_seconds = time.perf_counter() - start
+    assert files_checked > 150
+
+    with obs.session() as telemetry:
+        start = time.perf_counter()
+        warm_violations, warm_files = lint_paths(
+            LINT_TARGETS, cache_path=cache_path
+        )
+        warm_seconds = time.perf_counter() - start
+        counters = telemetry.snapshot()["counters"]
+
+    # Equivalence holds at every scale: the warm run replays the cold
+    # report exactly, via the zero-parse fast path.
+    assert warm_violations == cold_violations
+    assert warm_files == files_checked
+    assert counters.get("lint.cache.warm_run") == 1
+
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    bench_lib.emit(
+        capsys,
+        f"lint {files_checked} files: cold {cold_seconds:.3f}s, "
+        f"warm {warm_seconds:.3f}s ({speedup:.1f}x)",
+    )
+    if not bench_lib.SMOKE:
+        assert speedup >= MIN_WARM_SPEEDUP, (
+            f"warm lint only {speedup:.1f}x faster than cold "
+            f"(need >= {MIN_WARM_SPEEDUP}x)"
+        )
+        bench_lib.record(
+            "lint_incremental_cache",
+            files=files_checked,
+            cold_seconds=cold_seconds,
+            warm_seconds=warm_seconds,
+            speedup=speedup,
+        )

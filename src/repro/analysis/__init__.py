@@ -12,17 +12,25 @@ Public surface:
 * :func:`~repro.analysis.runner.lint_paths` — lint files/directories;
 * :func:`~repro.analysis.runner.run` — CLI driver (reporter + exit
   code);
-* :class:`~repro.analysis.core.Rule` / :func:`~repro.analysis.registry.register`
-  — extension points for new rules.
+* :class:`~repro.analysis.core.Rule` /
+  :class:`~repro.analysis.core.ProjectRule` /
+  :func:`~repro.analysis.registry.register` — extension points for
+  new rules (project rules additionally receive the pass-1
+  :class:`~repro.analysis.project.ProjectIndex`);
+* :func:`~repro.analysis.project.build_project_index` — the
+  whole-program pass on its own, for tools and tests.
 """
 
 from repro.analysis.core import (
     LintContext,
+    ProjectRule,
     Rule,
     Suppression,
+    UnknownRuleError,
     Violation,
     find_suppressions,
 )
+from repro.analysis.project import ProjectIndex, build_project_index
 from repro.analysis.registry import all_rules, create_rules, register
 from repro.analysis.runner import (
     check_source,
@@ -34,10 +42,14 @@ from repro.analysis.runner import (
 
 __all__ = [
     "LintContext",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "Suppression",
+    "UnknownRuleError",
     "Violation",
     "all_rules",
+    "build_project_index",
     "check_source",
     "create_rules",
     "describe_rules",

@@ -128,6 +128,26 @@ class LintContext:
         )
 
 
+class UnknownRuleError(KeyError):
+    """``--select`` named a rule id that is not registered.
+
+    Subclasses :class:`KeyError` so pre-existing callers that caught
+    the bare ``KeyError`` keep working; carries the valid ids so the
+    CLI can print them in the usage error.
+    """
+
+    def __init__(self, rule_id: str, known: Tuple[str, ...]) -> None:
+        super().__init__(rule_id)
+        self.rule_id = rule_id
+        self.known = tuple(known)
+
+    def __str__(self) -> str:
+        return (
+            f"unknown rule id {self.rule_id!r} "
+            f"(valid: {', '.join(self.known)})"
+        )
+
+
 class Rule(ast.NodeVisitor):
     """Base class for one lint rule.
 
@@ -150,6 +170,35 @@ class Rule(ast.NodeVisitor):
     def check(self, tree: ast.Module) -> None:
         """Run the rule over a parsed module (default: visit it)."""
         self.visit(tree)
+
+
+class ProjectRule(Rule):
+    """A rule that also sees the pass-1 whole-program index.
+
+    Per-file rules get ``(context)``; project rules get
+    ``(context, index)`` where ``index`` is the
+    :class:`~repro.analysis.project.ProjectIndex` built over every
+    file in the run.  When linting a lone snippet (``check_source``
+    without an index) the index is ``None`` and the rule must degrade
+    gracefully — either skip entirely or fall back to its best
+    file-local approximation.
+    """
+
+    def __init__(self, context: LintContext, index: Optional[object] = None) -> None:
+        super().__init__(context)
+        self.index = index
+
+    def report_at(self, line: int, column: int, message: str) -> None:
+        """File a violation at an explicit position (no AST node)."""
+        self.context.violations.append(
+            Violation(
+                path=self.context.path,
+                line=line,
+                column=column,
+                rule_id=self.rule_id,
+                message=message,
+            )
+        )
 
 
 def find_suppressions(source: str) -> List[Suppression]:

@@ -1,0 +1,264 @@
+"""The ``repro lint --fix`` autofix engine (mechanical rules only).
+
+Two rules have fixes that are provably behavior-preserving from the
+AST alone, and only those are automated:
+
+* **FPM007 mutable defaults** — replace the default with ``None`` and
+  insert an ``if <arg> is None: <arg> = <original>`` guard after the
+  docstring, the standard idiom.  Skipped when the parameter carries
+  an annotation that does not already admit ``None`` (rewriting the
+  annotation is a typing decision, not a mechanical one).
+* **FPM008 missing return annotation** — append ``-> None``, but only
+  when the function provably never produces a value: no ``return
+  <expr>`` and no ``yield`` anywhere in its own body (nested
+  functions excluded).  Missing *parameter* annotations are never
+  guessed.
+
+Everything else the linter reports needs a human.  Fixes are computed
+as character-offset splices against the original text and applied in
+reverse document order so earlier edits cannot shift later spans; the
+result is re-parsed before it is accepted, so a fix can never replace
+a lintable file with a syntax error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.rules.hygiene import MutableDefaultRule
+
+#: One splice: replace ``source[start:end]`` with ``text``.
+_Edit = Tuple[int, int, str]
+
+_FunctionNode = "ast.FunctionDef | ast.AsyncFunctionDef"
+
+
+def _line_offsets(source: str) -> List[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _offset(offsets: List[int], lineno: int, column: int) -> int:
+    return offsets[lineno - 1] + column
+
+
+def _annotation_admits_none(annotation: Optional[ast.expr]) -> bool:
+    """May this parameter hold ``None`` without an annotation edit?"""
+    if annotation is None:
+        return True
+    text = ast.dump(annotation)
+    return "Optional" in text or "None" in text or "Any" in text
+
+
+def _returns_value(node: ast.AST) -> bool:
+    """Does the function produce a value (return expr / any yield)?
+
+    Walks the function's own body only — nested functions and lambdas
+    have their own return semantics.
+    """
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(child, ast.Return) and child.value is not None:
+            return True
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+        if _returns_value(child):
+            return True
+    return False
+
+
+def _is_public_api(node: ast.AST, parents: Sequence[ast.AST]) -> bool:
+    """Mirror of FPM008's scope: public top-level defs and public
+    methods of public top-level classes."""
+    name = getattr(node, "name", "_")
+    if name.startswith("_"):
+        return False
+    if not parents:
+        return True
+    return (
+        len(parents) == 1
+        and isinstance(parents[0], ast.ClassDef)
+        and not parents[0].name.startswith("_")
+    )
+
+
+def _signature_colon(source: str, offsets: List[int], node: ast.AST) -> Optional[int]:
+    """Offset of the ``:`` closing the def signature, or ``None``."""
+    start = _offset(offsets, node.lineno, node.col_offset)
+    open_paren = source.find("(", start)
+    if open_paren < 0:
+        return None
+    depth = 0
+    position = open_paren
+    limit = len(source)
+    while position < limit:
+        char = source[position]
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+            if depth == 0:
+                break
+        elif char in "\"'":
+            # A default value containing a string: skip the literal.
+            quote = char
+            position += 1
+            while position < limit and source[position] != quote:
+                position += 2 if source[position] == "\\" else 1
+        position += 1
+    else:
+        return None
+    rest = position + 1
+    while rest < len(source) and source[rest] in " \t\r\n\\":
+        rest += 1
+    if rest < len(source) and source[rest] == ":":
+        return rest
+    return None
+
+
+def _guard_insertion_point(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef", offsets: List[int]
+) -> Tuple[int, str]:
+    """(offset, indent) where ``is None`` guards slot in: after the
+    docstring, at the first real statement's indentation."""
+    body = node.body
+    anchor = body[0]
+    if (
+        isinstance(anchor, ast.Expr)
+        and isinstance(anchor.value, ast.Constant)
+        and isinstance(anchor.value.value, str)
+        and len(body) > 1
+    ):
+        anchor = body[1]
+    indent = " " * anchor.col_offset
+    return _offset(offsets, anchor.lineno, 0), indent
+
+
+class _FixCollector(ast.NodeVisitor):
+    def __init__(self, source: str, select: frozenset) -> None:
+        self.source = source
+        self.offsets = _line_offsets(source)
+        self.select = select
+        self.edits: List[_Edit] = []
+        self.count = 0
+        self._parents: List[ast.AST] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._parents.append(node)
+        self.generic_visit(node)
+        self._parents.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._fix_function(node)
+        self._parents.append(node)
+        self.generic_visit(node)
+        self._parents.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._fix_function(node)
+        self._parents.append(node)
+        self.generic_visit(node)
+        self._parents.pop()
+
+    def _fix_function(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        if "FPM007" in self.select:
+            self._fix_mutable_defaults(node)
+        if "FPM008" in self.select:
+            self._fix_return_annotation(node)
+
+    # --- FPM007 --------------------------------------------------------
+
+    def _fix_mutable_defaults(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        pairs = list(
+            zip(positional[len(positional) - len(args.defaults):], args.defaults)
+        ) + [
+            (arg, default)
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+            if default is not None
+        ]
+        guards: List[Tuple[str, str]] = []
+        for arg, default in pairs:
+            if not MutableDefaultRule._is_mutable(default):
+                continue
+            if not _annotation_admits_none(arg.annotation):
+                continue  # would need a typing decision, not mechanical
+            original = ast.get_source_segment(self.source, default)
+            if original is None or "\n" in original:
+                continue  # multi-line default: leave it to a human
+            start = _offset(self.offsets, default.lineno, default.col_offset)
+            end = _offset(
+                self.offsets, default.end_lineno, default.end_col_offset
+            )
+            self.edits.append((start, end, "None"))
+            guards.append((arg.arg, original))
+            self.count += 1
+        if guards:
+            insert_at, indent = _guard_insertion_point(node, self.offsets)
+            text = "".join(
+                f"{indent}if {name} is None:\n"
+                f"{indent}    {name} = {original}\n"
+                for name, original in guards
+            )
+            self.edits.append((insert_at, insert_at, text))
+
+    # --- FPM008 --------------------------------------------------------
+
+    def _fix_return_annotation(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        if node.returns is not None:
+            return
+        if not _is_public_api(node, self._parents):
+            return
+        if isinstance(node, ast.AsyncFunctionDef) or _returns_value(node):
+            return
+        colon = _signature_colon(self.source, self.offsets, node)
+        if colon is None:
+            return
+        self.edits.append((colon, colon, " -> None"))
+        self.count += 1
+
+
+def fix_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+) -> Tuple[str, int]:
+    """Apply the mechanical fixes to one module's text.
+
+    Returns ``(new_source, fix_count)``; the input comes back
+    unchanged when nothing is fixable or when the spliced result
+    fails to re-parse (defensive — it should never happen).
+    """
+    chosen = frozenset(select) if select is not None else frozenset(
+        {"FPM007", "FPM008"}
+    )
+    chosen = chosen & {"FPM007", "FPM008"}
+    if not chosen:
+        return source, 0
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return source, 0
+    collector = _FixCollector(source, chosen)
+    collector.visit(tree)
+    if not collector.edits:
+        return source, 0
+    fixed = source
+    for start, end, text in sorted(collector.edits, reverse=True):
+        fixed = fixed[:start] + text + fixed[end:]
+    try:
+        ast.parse(fixed, filename=path)
+    except SyntaxError:  # pragma: no cover - the splices are position-exact
+        return source, 0
+    return fixed, collector.count

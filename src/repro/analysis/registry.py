@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Type
 
-from repro.analysis.core import LintContext, Rule
+from repro.analysis.core import (
+    LintContext,
+    ProjectRule,
+    Rule,
+    UnknownRuleError,
+)
 
 _RULES: Dict[str, Type[Rule]] = {}
 
@@ -36,23 +41,46 @@ def rule_ids() -> List[str]:
     return list(all_rules())
 
 
+def validate_select(select: Iterable[str]) -> List[str]:
+    """Check every id against the registry; returns them as a list.
+
+    Raises:
+        UnknownRuleError: naming the first unregistered id plus the
+            full list of valid ids (the CLI prints both).
+    """
+    registry = all_rules()
+    chosen = list(select)
+    for rule_id in chosen:
+        if rule_id not in registry:
+            raise UnknownRuleError(rule_id, tuple(registry))
+    return chosen
+
+
 def create_rules(
-    context: LintContext, select: Optional[Iterable[str]] = None
+    context: LintContext,
+    select: Optional[Iterable[str]] = None,
+    index: Optional[object] = None,
 ) -> List[Rule]:
     """Instantiate (optionally a subset of) the registered rules.
 
+    ``index`` — the pass-1 :class:`~repro.analysis.project.ProjectIndex`
+    — is handed to :class:`ProjectRule` subclasses; per-file rules are
+    constructed exactly as before.
+
     Raises:
-        KeyError: if ``select`` names an unregistered rule id.
+        UnknownRuleError: if ``select`` names an unregistered rule id
+            (a ``KeyError`` subclass, for backward compatibility).
     """
     registry = all_rules()
-    if select is None:
-        chosen = list(registry)
-    else:
-        chosen = list(select)
-        for rule_id in chosen:
-            if rule_id not in registry:
-                raise KeyError(rule_id)
-    return [registry[rule_id](context) for rule_id in sorted(set(chosen))]
+    chosen = list(registry) if select is None else validate_select(select)
+    instances: List[Rule] = []
+    for rule_id in sorted(set(chosen)):
+        rule_class = registry[rule_id]
+        if issubclass(rule_class, ProjectRule):
+            instances.append(rule_class(context, index))
+        else:
+            instances.append(rule_class(context))
+    return instances
 
 
 def _ensure_loaded() -> None:

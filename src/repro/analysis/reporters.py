@@ -1,16 +1,46 @@
-"""Violation reporters: ``file:line rule-id message`` text and JSON.
+"""Violation reporters: text, JSON, and SARIF 2.1.0.
 
-Both reporters receive the full violation list plus the number of
-files checked, so the text summary and the JSON envelope stay in
-agreement with each other (and with the runner's exit code).
+Every reporter receives the full violation list plus the number of
+files checked, so the text summary, the JSON envelope and the SARIF
+run stay in agreement with each other (and with the runner's exit
+code).  The SARIF output is what CI uploads through
+``github/codeql-action/upload-sarif`` to surface violations as
+code-scanning annotations on pull requests.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, TextIO
+from typing import Dict, List, Sequence, TextIO, Tuple
 
-from repro.analysis.core import Violation
+from repro.analysis.core import (
+    SUPPRESSION_RULE_ID,
+    SYNTAX_RULE_ID,
+    Violation,
+)
+
+_TOOL_NAME = "repro-lint"
+_TOOL_URI = "https://github.com/fuzzypsm-repro/fuzzypsm-repro"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Framework pseudo-rules that can appear in results but live outside
+#: the registry: suppression problems and unparsable files.
+_FRAMEWORK_RULES = (
+    (
+        SUPPRESSION_RULE_ID,
+        "suppression-hygiene",
+        "a # lint-ok suppression lacks a justification or names an "
+        "unknown rule id",
+    ),
+    (
+        SYNTAX_RULE_ID,
+        "syntax-error",
+        "the file does not parse",
+    ),
+)
 
 
 def render_text(
@@ -60,4 +90,95 @@ def render_json(
     )
 
 
-REPORTERS = {"text": render_text, "json": render_json}
+def _sarif_rules() -> List[Dict[str, object]]:
+    """Driver rule metadata: the registry plus the framework rules."""
+    from repro.analysis.registry import all_rules
+
+    entries: List[Dict[str, object]] = []
+    for rule_id, rule in all_rules().items():
+        entries.append(
+            {
+                "id": rule_id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    for rule_id, name, summary in _FRAMEWORK_RULES:
+        entries.append(
+            {
+                "id": rule_id,
+                "name": name,
+                "shortDescription": {"text": summary},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return entries
+
+
+def render_sarif(
+    violations: List[Violation], files_checked: int, stream: TextIO
+) -> None:
+    """One SARIF 2.1.0 run (the GitHub code-scanning ingest format)."""
+    rules = _sarif_rules()
+    rule_index = {rule["id"]: position for position, rule in enumerate(rules)}
+    results = []
+    for violation in violations:
+        result: Dict[str, object] = {
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.column,
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[violation.rule_id]
+        results.append(result)
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+    stream.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def render_rule_table_markdown(
+    rows: Sequence[Tuple[str, str, str]]
+) -> str:
+    """The ``--list-rules --format markdown`` table (README source).
+
+    One pipe-table row per rule; the docs-consistency test regenerates
+    this from the registry and asserts the README copy matches, so the
+    README can never drift from the shipped rule set.
+    """
+    lines = ["| Rule | Name | Enforces |", "| --- | --- | --- |"]
+    for rule_id, name, summary in rows:
+        cell = summary.replace("|", "\\|")
+        lines.append(f"| {rule_id} | `{name}` | {cell} |")
+    return "\n".join(lines) + "\n"
+
+
+REPORTERS = {"text": render_text, "json": render_json, "sarif": render_sarif}

@@ -15,20 +15,37 @@ family they protect:
 * :mod:`~repro.analysis.rules.dispatch` — FPM010, meter dispatch via
   the capability registry, never concrete classes or kind literals;
 * :mod:`~repro.analysis.rules.tables` — FPM011, grammar count tables
-  normalised only inside grammar.py / frozen.py (the two kernels
+  normalised only inside the grammar kernel modules (the two kernels
   proven bit-identical to each other).
+
+The cross-module rules ride on the pass-1 project index
+(:mod:`repro.analysis.project`):
+
+* :mod:`~repro.analysis.rules.forksafety` — FPM012, worker-reachable
+  code never writes broadcast-once module globals past fork;
+* :mod:`~repro.analysis.rules.epoch` — FPM013, grammar count-table
+  mutations bump the epoch so frozen snapshots invalidate;
+* :mod:`~repro.analysis.rules.telemetry` — FPM014, probe names are
+  dotted literals under registered ``obs`` namespaces;
+* :mod:`~repro.analysis.rules.capabilities` — FPM015, declared meter
+  capabilities are statically backed by methods with the required
+  signatures.
 """
 
 from repro.analysis.rules import (
+    capabilities,
     determinism,
     dispatch,
+    epoch,
+    forksafety,
     hygiene,
     probability,
     tables,
+    telemetry,
     timing,
 )
 
 __all__ = [
-    "determinism", "dispatch", "hygiene", "probability", "tables",
-    "timing",
+    "capabilities", "determinism", "dispatch", "epoch", "forksafety",
+    "hygiene", "probability", "tables", "telemetry", "timing",
 ]

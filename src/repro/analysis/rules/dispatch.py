@@ -15,7 +15,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator, List, Optional
 
-from repro.analysis.core import Rule
+from repro.analysis.core import ProjectRule
+from repro.analysis.project import ProjectIndex
 from repro.analysis.registry import register
 
 #: The concrete meter classes shipping with the package.  Capability
@@ -72,7 +73,7 @@ def _string_literals(node: ast.AST) -> Iterator[str]:
 
 
 @register
-class ConcreteMeterDispatchRule(Rule):
+class ConcreteMeterDispatchRule(ProjectRule):
     """FPM010: no concrete-meter isinstance or kind-string dispatch."""
 
     rule_id = "FPM010"
@@ -83,13 +84,39 @@ class ConcreteMeterDispatchRule(Rule):
         "dispatch on capabilities or registry specs instead"
     )
 
+    #: Populated per file in :meth:`check` — the shipped names plus
+    #: whatever ``@register_meter`` declarations the index found, so a
+    #: meter registered by a plugin module is covered automatically.
+    _class_names = _METER_CLASS_NAMES
+    _kind_literals = _METER_KIND_LITERALS
+
     def check(self, tree: ast.Module) -> None:
         # The registry module is the one place allowed to know every
         # kind string and class: it defines the mapping the rest of
-        # the codebase must consume.
-        path = self.context.path.replace("\\", "/")
-        if path.endswith("meters/registry.py"):
-            return
+        # the codebase must consume.  With an index the exemption is
+        # by module *identity*; the path suffix is only the fallback
+        # for index-less single-file runs.
+        index = self.index
+        if isinstance(index, ProjectIndex):
+            module = index.module_for_path(self.context.path)
+            if module is not None and module.module == "repro.meters.registry":
+                return
+            registered_names = set()
+            registered_kinds = set()
+            for _, cls, registration in index.meter_registrations():
+                registered_names.add(cls.name)
+                # "ideal" stays excluded even when registered: scenario
+                # kinds share the spelling (see _METER_KIND_LITERALS).
+                if registration.kind and registration.kind != "ideal":
+                    registered_kinds.add(registration.kind)
+            self._class_names = _METER_CLASS_NAMES | registered_names
+            self._kind_literals = _METER_KIND_LITERALS | registered_kinds
+        else:
+            path = self.context.path.replace("\\", "/")
+            if path.endswith("meters/registry.py"):
+                return
+            self._class_names = _METER_CLASS_NAMES
+            self._kind_literals = _METER_KIND_LITERALS
         self.visit(tree)
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -106,7 +133,7 @@ class ConcreteMeterDispatchRule(Rule):
             )
             for candidate in candidates:
                 name = _class_name(candidate)
-                if name in _METER_CLASS_NAMES:
+                if name in self._class_names:
                     self.report(
                         node,
                         f"isinstance() against concrete meter {name}; "
@@ -122,7 +149,7 @@ class ConcreteMeterDispatchRule(Rule):
         ):
             for operand in [node.left, *node.comparators]:
                 for literal in _string_literals(operand):
-                    if literal in _METER_KIND_LITERALS:
+                    if literal in self._kind_literals:
                         self.report(
                             node,
                             f"comparison with meter-kind literal "

@@ -19,8 +19,11 @@ Reading table *counts* (``.count``, ``.total``, ``.items``,
 public currency (serialisation, enumeration, reporting); it is the
 probability *normalisation* that must stay in the two kernels.
 
-Exempt by file: ``grammar.py`` (the tables' home) and ``frozen.py``
-(the compiled snapshot of them).
+Exempt by module identity when the project index is available: the
+modules that *define* epoch-guarded grammar classes (the tables' home,
+found by the index rather than by filename) plus the frozen-snapshot
+module.  Index-less single-file runs fall back to the historical
+filename check.
 """
 
 from __future__ import annotations
@@ -28,27 +31,25 @@ from __future__ import annotations
 import ast
 import re
 
-from repro.analysis.core import Rule
+from repro.analysis.core import ProjectRule
+from repro.analysis.project import GRAMMAR_TABLE_ATTRIBUTES, ProjectIndex
 from repro.analysis.registry import register
 
-#: The FuzzyGrammar count-table attribute names.
-_TABLE_ATTRIBUTES = frozenset(
-    {
-        "structures",
-        "terminals",
-        "capitalization",
-        "leet",
-        "reverse",
-        "allcaps",
-    }
-)
+#: The FuzzyGrammar count-table attribute names (shared with FPM013).
+_TABLE_ATTRIBUTES = GRAMMAR_TABLE_ATTRIBUTES
 
 #: FrequencyDistribution methods that normalise counts into
 #: probabilities — the operation reserved to the blessed kernels.
 _PROBABILITY_METHODS = frozenset({"probability", "smoothed_probability"})
 
-#: File names allowed to normalise grammar tables directly.
+#: File names allowed to normalise grammar tables directly — the
+#: fallback for index-less runs only.
 _EXEMPT_FILES = frozenset({"grammar.py", "frozen.py"})
+
+#: Modules exempt by identity beyond the epoch-guarded table owners:
+#: the frozen snapshot is the second blessed kernel but its fields are
+#: private (``_structures``), so the index cannot infer it.
+_EXEMPT_MODULES = frozenset({"repro.core.frozen"})
 
 
 def _table_attribute(node: ast.AST) -> bool:
@@ -67,7 +68,7 @@ def _table_attribute(node: ast.AST) -> bool:
 
 
 @register
-class GrammarTableAccessRule(Rule):
+class GrammarTableAccessRule(ProjectRule):
     """FPM011: no direct grammar-table probability reads outside the
     grammar and its frozen snapshot."""
 
@@ -75,15 +76,32 @@ class GrammarTableAccessRule(Rule):
     name = "grammar-table-access"
     summary = (
         "calling .probability()/.smoothed_probability() on a grammar "
-        "count table outside grammar.py/frozen.py bypasses the "
+        "count table outside the grammar kernel modules bypasses the "
         "sentinel semantics and the frozen kernel; go through "
         "FuzzyGrammar.*_probability or FrozenGrammar"
     )
 
     def check(self, tree: ast.Module) -> None:
-        segments = re.split(r"[\\/]", self.context.path)
-        if segments and segments[-1] in _EXEMPT_FILES:
-            return
+        index = self.index
+        if isinstance(index, ProjectIndex):
+            module = index.module_for_path(self.context.path)
+            if module is not None:
+                exempt = set(_EXEMPT_MODULES)
+                for guarded in index.epoch_guarded_classes:
+                    exempt.add(guarded.rsplit(".", 1)[0])
+                if module.module in exempt:
+                    return
+            else:
+                # File unknown to the index (e.g. a snippet linted
+                # alongside a prebuilt index): fall through to the
+                # filename fallback below.
+                segments = re.split(r"[\\/]", self.context.path)
+                if segments and segments[-1] in _EXEMPT_FILES:
+                    return
+        else:
+            segments = re.split(r"[\\/]", self.context.path)
+            if segments and segments[-1] in _EXEMPT_FILES:
+                return
         self.visit(tree)
 
     def visit_Call(self, node: ast.Call) -> None:

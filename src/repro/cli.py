@@ -266,7 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format", dest="output_format",
-        choices=("text", "json"), default="text",
+        choices=("text", "json", "sarif", "markdown"), default="text",
+        help="violation reporter; 'sarif' emits SARIF 2.1.0 for CI "
+        "code scanning, 'markdown' is only valid with --list-rules",
     )
     lint.add_argument(
         "--select", help="comma-separated rule ids, e.g. FPM001,FPM006"
@@ -274,6 +276,24 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--fix", action="store_true",
+        help="apply the mechanical autofixes (FPM007 mutable "
+        "defaults, FPM008 unambiguous -> None) before reporting",
+    )
+    lint.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="lint files across N processes (0 = CPU count)",
+    )
+    lint.add_argument(
+        "--cache", dest="cache_path", default=None, metavar="PATH",
+        help="incremental cache file (warm runs skip unchanged "
+        "files); see also --no-cache",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true",
+        help="force a cold run even when --cache is given",
     )
 
     return parser
@@ -722,15 +742,27 @@ def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import describe_rules, run as run_lint
+    from repro.analysis.reporters import render_rule_table_markdown
     if args.list_rules:
-        print(format_table(
-            ["id", "name", "summary"],
-            [list(row) for row in describe_rules()],
-            title="repro lint rule catalogue",
-        ))
+        if args.output_format == "markdown":
+            print(render_rule_table_markdown(describe_rules()), end="")
+        else:
+            print(format_table(
+                ["id", "name", "summary"],
+                [list(row) for row in describe_rules()],
+                title="repro lint rule catalogue",
+            ))
         return 0
+    if args.output_format == "markdown":
+        print(
+            "error: --format markdown is only valid with --list-rules",
+            file=sys.stderr,
+        )
+        return 2
+    cache_path = None if args.no_cache else args.cache_path
     return run_lint(
         args.paths, output_format=args.output_format, select=args.select,
+        jobs=args.jobs, cache_path=cache_path, fix=args.fix,
     )
 
 

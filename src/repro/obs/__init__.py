@@ -29,8 +29,9 @@ sessions themselves.
 from __future__ import annotations
 
 import os
+import re
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import FrozenSet, Iterator, Optional
 
 from repro.obs.core import (
     Clock,
@@ -55,9 +56,54 @@ __all__ = [
     "get",
     "log_spaced_bounds",
     "now",
+    "register_namespace",
+    "registered_namespaces",
     "render_report",
     "session",
 ]
+
+_NAMESPACE_RE = re.compile(r"^[a-z0-9_]+$")
+_NAMESPACES: "set[str]" = set()
+
+
+def register_namespace(prefix: str) -> str:
+    """Declare a probe-name namespace (the head segment before ``.``).
+
+    Every probe name emitted through the telemetry API is
+    ``<namespace>.<segment>[.<segment>...]``; registering the
+    namespace here is what makes it official.  The static gate
+    (lint rule FPM014) harvests these literal calls project-wide and
+    rejects probe names under unregistered heads, so a typo'd
+    namespace cannot silently fork a metric series.  Returns the
+    prefix so call sites can bind it if they want a constant.
+    """
+    if not _NAMESPACE_RE.match(prefix):
+        raise ValueError(
+            f"namespace {prefix!r} must be lowercase [a-z0-9_]+"
+        )
+    _NAMESPACES.add(prefix)
+    return prefix
+
+
+def registered_namespaces() -> FrozenSet[str]:
+    """The namespaces declared so far (for reports and tests)."""
+    return frozenset(_NAMESPACES)
+
+
+# The probe namespaces in use across the package, declared centrally
+# so the catalogue is readable in one place.  Keep the list sorted;
+# add a line here (or a register_namespace call next to your probes)
+# before emitting under a new head segment.
+register_namespace("enum")
+register_namespace("experiment")
+register_namespace("lint")
+register_namespace("meter")
+register_namespace("parser")
+register_namespace("profile")
+register_namespace("stream")
+register_namespace("train")
+register_namespace("training")
+register_namespace("trie")
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
 

@@ -93,7 +93,7 @@ class TestRegistrationContract:
     def test_capability_declaration_is_verified(self):
         with pytest.raises(ValueError, match="does not define update"):
             @register_meter("liar", capabilities=(Capability.UPDATABLE,))
-            class LiarMeter(Meter):
+            class LiarMeter(Meter):  # lint-ok: FPM015 -- deliberately broken fixture: the test asserts the runtime registry rejects exactly this declaration
                 def probability(self, password: str) -> float:
                     return 0.0
         assert "liar" not in registry.meter_kinds()
