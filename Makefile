@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke examples reproduce lint coverage clean
+.PHONY: install test bench bench-smoke serve-smoke examples reproduce lint coverage clean
 
 install:
 	pip install -e '.[dev]' --no-build-isolation
@@ -22,7 +22,14 @@ bench-smoke:
 		benchmarks/test_timing_batch_scoring.py \
 		benchmarks/test_timing_training_engine.py \
 		benchmarks/test_timing_measure.py \
-		benchmarks/test_timing_lint.py -q
+		benchmarks/test_timing_lint.py \
+		benchmarks/test_timing_serving.py -q
+
+# End-to-end smoke of `repro serve` as a real subprocess: trains a
+# tiny model, boots the CLI on an ephemeral port, hits every endpoint
+# over a socket, and requires a clean SIGTERM shutdown.
+serve-smoke:
+	PYTHONPATH=src python tools/serve_smoke.py
 
 examples:
 	@for script in examples/*.py; do \

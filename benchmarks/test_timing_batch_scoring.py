@@ -34,15 +34,20 @@ from repro.meters.zxcvbn.frequency_lists import COMMON_PASSWORDS
 
 from bench_lib import SMOKE, emit, record
 
-#: The Fig. 13 contenders; dict value marks the meters whose override
-#: must beat the base loop.  Every sweep meter now ships one.
+#: The Fig. 13 contenders; dict value is the minimum speedup the
+#: meter's override must hold over the base loop.  fuzzyPSM is pinned
+#: well above the rest: its batch path is the frozen-kernel evaluator
+#: (ROADMAP item 5 — once 0.81x under the dict-table loop, now the
+#: default batch configuration everywhere, including the serving
+#: layer), and a regression below 2x means the kernel fell off the
+#: batch path.
 _SWEEP = {
-    "fuzzypsm": True,
-    "pcfg": True,
-    "markov": True,
-    "zxcvbn": True,
-    "keepsm": True,
-    "nist": True,
+    "fuzzypsm": 2.0,
+    "pcfg": 1.2,
+    "markov": 1.2,
+    "zxcvbn": 1.2,
+    "keepsm": 1.2,
+    "nist": 1.2,
 }
 
 #: Entries scored (untimed) per side before the clocks start.
@@ -62,7 +67,7 @@ def test_timing_batch_vs_loop_scoring(corpora, csdn_quarters, capsys):
     lines = []
     measurements = {"stream": len(stream), "distinct": distinct}
     warmup = stream[:_WARMUP]
-    for kind, must_win in _SWEEP.items():
+    for kind, min_speedup in _SWEEP.items():
         meter = registry.build_meter(kind, context)
 
         # Untimed warm-up of both code paths (see module docstring).
@@ -88,8 +93,10 @@ def test_timing_batch_vs_loop_scoring(corpora, csdn_quarters, capsys):
         )
         if SMOKE:
             continue  # equivalence asserted above; ratios are noise
-        if must_win:
-            assert speedup > 1.2, f"{kind} batch override slower than loop"
+        assert speedup > min_speedup, (
+            f"{kind} batch override below its {min_speedup}x floor "
+            f"({speedup:.2f}x)"
+        )
 
     emit(
         capsys,

@@ -417,6 +417,11 @@ class _ModuleScanner(ast.NodeVisitor):
         self.generic_visit(node)
 
     def _record_worker(self, target: ast.expr, role: str) -> None:
+        # A literal first argument is data, not a callable: the call
+        # is some other .submit()/.map() (an async batcher, a bound
+        # collection), not a process-pool dispatch.
+        if isinstance(target, ast.Constant):
+            return
         self.worker_uses.append(
             WorkerUse(
                 role=role,

@@ -15,15 +15,20 @@ Commands cover the full paper workflow:
 * ``attack``      — simulate Table I's online/offline attackers;
 * ``profile``     — partial-guessing profile of a corpus file, or
   (with ``--base/--train/--stream``) a telemetry profile of the full
-  train-and-score pipeline.
+  train-and-score pipeline;
+* ``serve``       — serve a saved model over HTTP (``/check``,
+  ``/suggest``, ``/policy``, ``/accept``, ``/healthz``,
+  ``/metrics``); see DESIGN.md §14.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import signal
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.datasets.loaders import (
     load_corpus,
@@ -51,6 +56,7 @@ from repro.meters.base import probability_to_entropy
 from repro.meters.markov import Smoothing
 from repro.meters.registry import Capability, TrainContext
 from repro.persistence import load_meter, save_meter
+from repro.serve import ReproServer, ServeConfig
 from repro.survey.analysis import survey_report
 
 
@@ -255,6 +261,33 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--output", "-o",
         help="also write the JSON report to this file",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a saved model over HTTP (check/suggest/policy)",
+    )
+    serve.add_argument("--model", required=True,
+                       help="saved model file (repro train output)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8042,
+                       help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="warm scoring worker processes (0 = score in-process)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.0, metavar="SECS",
+        help="micro-batch coalescing window for /check "
+        "(0 = self-clocking: batch whatever arrives mid-dispatch)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=256, metavar="N",
+        help="most /check requests folded into one scoring call",
+    )
+    serve.add_argument(
+        "--max-body", type=int, default=64 * 1024, metavar="BYTES",
+        help="request body size cap (413 beyond it)",
     )
 
     lint = commands.add_parser(
@@ -766,6 +799,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
 
+async def _serve_until_signal(meter: Any, config: ServeConfig) -> int:
+    """Run the server until SIGINT/SIGTERM, then drain and stop."""
+    server = ReproServer(meter, config)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX
+            break
+    print(
+        f"serving {config.workers} worker(s) on "
+        f"http://{config.host}:{server.port}",
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        await server.stop()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    meter = load_meter(args.model)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        max_body=args.max_body,
+    )
+    try:
+        return asyncio.run(_serve_until_signal(meter, config))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        return 0
+
+
 _HANDLERS = {
     "survey": _cmd_survey,
     "generate": _cmd_generate,
@@ -779,6 +851,7 @@ _HANDLERS = {
     "coach": _cmd_coach,
     "attack": _cmd_attack,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

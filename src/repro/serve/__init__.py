@@ -1,0 +1,29 @@
+"""Online serving: HTTP endpoint over warm snapshot workers.
+
+The package composes four pieces (DESIGN.md §14):
+
+* :mod:`repro.serve.snapshot` — the immutable compiled-trie +
+  frozen-grammar scoring snapshot, stamped with its grammar epoch;
+* :mod:`repro.serve.workers`  — warm fork/COW worker processes seeded
+  once per snapshot, supervised and hot-swappable;
+* :mod:`repro.serve.batcher`  — the micro-batcher coalescing
+  concurrent ``/check`` requests into one batch scoring call;
+* :mod:`repro.serve.app`      — the asyncio HTTP/1.1 server
+  (``repro serve``) wiring them behind ``/check``, ``/suggest``,
+  ``/policy``, ``/accept``, ``/healthz`` and ``/metrics``.
+"""
+
+from repro.serve.app import ReproServer, ServeConfig
+from repro.serve.batcher import MicroBatcher
+from repro.serve.snapshot import ServingSnapshot, SnapshotScorer
+from repro.serve.workers import WorkerCrash, WorkerPool
+
+__all__ = [
+    "MicroBatcher",
+    "ReproServer",
+    "ServeConfig",
+    "ServingSnapshot",
+    "SnapshotScorer",
+    "WorkerCrash",
+    "WorkerPool",
+]

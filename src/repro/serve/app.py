@@ -1,0 +1,572 @@
+"""The asyncio HTTP server composing snapshot, workers and batcher.
+
+:class:`ReproServer` is the online face of the meter (DESIGN.md §14):
+
+* ``POST /check``   — measure one password (micro-batched);
+* ``POST /suggest`` — stronger-variant suggestions;
+* ``POST /policy``  — policy compliance check;
+* ``POST /accept``  — online ``update()`` + snapshot hot reload;
+* ``GET /healthz``  — worker liveness (``healthy``/``degraded``);
+* ``GET /metrics``  — ``serve.*`` counters, latency percentiles.
+
+Scoring never runs on the event loop: with ``workers > 0`` batches go
+to the warm :class:`~repro.serve.workers.WorkerPool` through the
+default executor; without workers they run ``probability_many`` in the
+executor (parallel-scorable meters) or inline per password.  Worker
+mode requires the ``PARALLEL_SCORABLE`` registry capability — gating
+is by capability, never by concrete meter type.
+
+The server owns a private :class:`~repro.obs.core.Telemetry` backend,
+so ``/metrics`` is always live even when the process-global backend is
+the no-op default.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+from functools import partial
+from typing import (
+    Any, Awaitable, Callable, Deque, Dict, List, Optional, Set, Tuple,
+)
+
+from repro.core.policy import COMMON_POLICIES, PasswordPolicy
+from repro.core.suggestions import suggest_stronger
+from repro.meters.base import probability_to_entropy
+from repro.meters.registry import Capability, spec_for
+from repro.obs.core import Telemetry, now as _now
+from repro.serve.batcher import MicroBatcher
+from repro.serve.http import (
+    MAX_HEADER_BYTES, HttpError, Request, read_request, render_response,
+)
+from repro.serve.snapshot import ServingSnapshot
+from repro.serve.workers import WorkerPool
+
+#: Routes the server answers, for 404-vs-405 discrimination.
+_ROUTES = {
+    "/check": ("POST",),
+    "/suggest": ("POST",),
+    "/policy": ("POST",),
+    "/accept": ("POST",),
+    "/healthz": ("GET",),
+    "/metrics": ("GET",),
+}
+
+#: Keys a JSON ``/policy`` request may use to define a custom policy.
+_POLICY_KEYS = ("min_length", "max_length", "required_classes")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for one :class:`ReproServer`.
+
+    Attributes:
+        host: bind address (loopback by default).
+        port: bind port; ``0`` picks an ephemeral port.
+        workers: warm scoring processes; ``0`` scores in-process.
+        batch_window: micro-batch coalescing window in seconds; ``0``
+            (the default) is self-clocking — batches form from
+            requests arriving while the previous dispatch is in
+            flight, adding no latency (see
+            :mod:`repro.serve.batcher`).
+        max_batch: most requests folded into one scoring call
+            (``1`` disables coalescing entirely).
+        max_body: request-body byte cap (413 beyond it).
+        supervisor_interval: seconds between background worker
+            liveness sweeps; ``0`` disables the supervisor (dead
+            workers are then respawned on demand).
+        idle_timeout: seconds a keep-alive connection may sit idle.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 0
+    batch_window: float = 0.0
+    max_batch: int = 256
+    max_body: int = 64 * 1024
+    supervisor_interval: float = 0.25
+    idle_timeout: float = 30.0
+
+
+class ReproServer:
+    """One meter served over HTTP with batching and warm workers."""
+
+    def __init__(self, meter: Any,
+                 config: Optional[ServeConfig] = None) -> None:
+        self._meter = meter
+        self._config = config if config is not None else ServeConfig()
+        self._telemetry = Telemetry()
+        spec = spec_for(meter)
+        self._parallel = (
+            spec is not None and spec.has(Capability.PARALLEL_SCORABLE)
+        )
+        self._updatable = (
+            spec is not None and spec.has(Capability.UPDATABLE)
+        )
+        if self._config.workers > 0 and not self._parallel:
+            raise ValueError(
+                "worker processes need a parallel-scorable meter "
+                "(registry capability PARALLEL_SCORABLE); "
+                f"got {spec.kind if spec else type(meter).__name__!r} "
+                "— run with workers=0"
+            )
+        self._pool: Optional[WorkerPool] = None
+        self._batcher: Optional[MicroBatcher] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._supervisor: Optional["asyncio.Task[None]"] = None
+        self._connections: Set["asyncio.Task[None]"] = set()
+        self._latencies: Deque[float] = deque(maxlen=4096)
+        self._handlers: Dict[str, Callable[
+            [Request], Awaitable[Tuple[int, Dict[str, Any]]]
+        ]] = {
+            "/check": self._check,
+            "/suggest": self._suggest,
+            "/policy": self._policy,
+            "/accept": self._accept,
+            "/healthz": self._healthz,
+            "/metrics": self._metrics,
+        }
+
+    # --- introspection -------------------------------------------------
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The server's private telemetry backend (for tests/benches)."""
+        return self._telemetry
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not running")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def epoch(self) -> int:
+        """Grammar epoch currently being served."""
+        if self._pool is not None:
+            return self._pool.epoch
+        grammar = getattr(self._meter, "grammar", None)
+        return int(getattr(grammar, "epoch", 0))
+
+    # --- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn workers, start the batcher, bind the listener.
+
+        The worker pool forks on the event-loop thread *before* the
+        first executor thread exists, keeping the fork single-threaded
+        on the happy path.
+        """
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        config = self._config
+        if config.workers > 0:
+            snapshot = ServingSnapshot.from_meter(self._meter)
+            self._pool = WorkerPool(
+                snapshot, config.workers, telemetry=self._telemetry
+            )
+        self._batcher = MicroBatcher(
+            self._score_batch,
+            window=config.batch_window,
+            max_batch=config.max_batch,
+            telemetry=self._telemetry,
+        )
+        await self._batcher.start()
+        if self._pool is not None and config.supervisor_interval > 0:
+            self._supervisor = asyncio.create_task(self._supervise())
+        self._server = await asyncio.start_server(
+            self._on_connection, config.host, config.port,
+            limit=MAX_HEADER_BYTES,
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting, drain/cancel connections, tear down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+            try:
+                await self._supervisor
+            except asyncio.CancelledError:
+                pass
+            self._supervisor = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+            self._connections.clear()
+        if self._batcher is not None:
+            await self._batcher.stop()
+            self._batcher = None
+        if self._pool is not None:
+            pool = self._pool
+            self._pool = None
+            await asyncio.get_running_loop().run_in_executor(
+                None, pool.stop
+            )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        await self._server.serve_forever()
+
+    async def _supervise(self) -> None:
+        """Background sweep: respawn dead workers between requests."""
+        interval = self._config.supervisor_interval
+        while True:
+            await asyncio.sleep(interval)
+            pool = self._pool
+            if pool is not None and not pool.healthy():
+                await asyncio.get_running_loop().run_in_executor(
+                    None, pool.respawn_dead
+                )
+
+    # --- connection handling -------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._handle_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Server shutdown cancels connection tasks; completing
+            # normally here keeps asyncio.streams' done-callback (which
+            # calls task.exception() unguarded) from logging it.
+            self._telemetry.incr("serve.connection.cancelled")
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        telemetry = self._telemetry
+        telemetry.incr("serve.connections")
+        # Idle enforcement by watchdog, not a per-request wait_for:
+        # wait_for wraps every read in a fresh task, which costs more
+        # than the whole header parse.  The watchdog closes the
+        # transport when the deadline lapses, which surfaces to the
+        # pending read as a clean end-of-stream.
+        loop = asyncio.get_running_loop()
+        idle_timeout = self._config.idle_timeout
+        deadline = [_now() + idle_timeout]
+        timer: List[Optional[asyncio.TimerHandle]] = [None]
+
+        def watchdog() -> None:
+            remaining = deadline[0] - _now()
+            if remaining <= 0:
+                timer[0] = None
+                writer.close()
+            else:
+                timer[0] = loop.call_later(remaining, watchdog)
+
+        if idle_timeout > 0:
+            timer[0] = loop.call_later(idle_timeout, watchdog)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, self._config.max_body
+                    )
+                except HttpError as error:
+                    telemetry.incr("serve.http.errors")
+                    writer.write(render_response(
+                        error.status, {"error": error.detail},
+                        keep_alive=False,
+                    ))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                start = _now()
+                deadline[0] = start + idle_timeout
+                keep_alive = request.keep_alive
+                try:
+                    status, payload = await self._route(request)
+                except HttpError as error:
+                    telemetry.incr("serve.http.errors")
+                    status, payload = error.status, {
+                        "error": error.detail
+                    }
+                    if error.close:
+                        keep_alive = False
+                except Exception as error:
+                    telemetry.incr("serve.internal.errors")
+                    status, payload = 500, {
+                        "error": f"internal error: {error!r}"
+                    }
+                elapsed = _now() - start
+                self._latencies.append(elapsed)
+                telemetry.incr("serve.requests")
+                telemetry.observe("serve.request.seconds", elapsed)
+                writer.write(
+                    render_response(status, payload, keep_alive)
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+                deadline[0] = _now() + idle_timeout
+        finally:
+            if timer[0] is not None:
+                timer[0].cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                self._telemetry.incr("serve.connection.resets")
+
+    async def _route(self, request: Request) -> Tuple[int, Dict[str, Any]]:
+        methods = _ROUTES.get(request.path)
+        if methods is None:
+            raise HttpError(404, f"no route {request.path!r}")
+        if request.method not in methods:
+            raise HttpError(
+                405,
+                f"{request.method} not allowed on {request.path}",
+            )
+        return await self._handlers[request.path](request)
+
+    # --- scoring backend ----------------------------------------------
+
+    async def _score_batch(
+        self, passwords: List[str]
+    ) -> Tuple[int, List[float]]:
+        """Score one micro-batch off the event loop."""
+        loop = asyncio.get_running_loop()
+        if self._pool is not None:
+            epoch, scores, worker_seconds = await loop.run_in_executor(
+                None, self._pool.score, list(passwords)
+            )
+            self._telemetry.observe(
+                "serve.worker.seconds", worker_seconds
+            )
+            return epoch, scores
+        meter = self._meter
+        if self._parallel:
+            scores = await loop.run_in_executor(
+                None, meter.probability_many, list(passwords)
+            )
+            return self.epoch, list(scores)
+        return self.epoch, [meter.probability(pw) for pw in passwords]
+
+    # --- handlers ------------------------------------------------------
+
+    @staticmethod
+    def _password_field(payload: Dict[str, Any]) -> str:
+        password = payload.get("password")
+        if not isinstance(password, str):
+            raise HttpError(400, "'password' must be a JSON string")
+        return password
+
+    @staticmethod
+    def _bits(probability: float) -> Optional[float]:
+        """Entropy bits, with unreachable (p=0) rendered as null."""
+        bits = probability_to_entropy(probability)
+        return bits if math.isfinite(bits) else None
+
+    async def _check(
+        self, request: Request
+    ) -> Tuple[int, Dict[str, Any]]:
+        password = self._password_field(request.json())
+        batcher = self._batcher
+        if batcher is None:
+            raise HttpError(503, "server is shutting down")
+        epoch, probability = await batcher.submit(password)
+        return 200, {
+            "password": password,
+            "probability": probability,
+            "entropy_bits": self._bits(probability),
+            "epoch": epoch,
+        }
+
+    async def _suggest(
+        self, request: Request
+    ) -> Tuple[int, Dict[str, Any]]:
+        payload = request.json()
+        password = self._password_field(payload)
+        target_bits = payload.get("target_bits", 20.0)
+        max_suggestions = payload.get("max_suggestions", 5)
+        if not isinstance(target_bits, (int, float)):
+            raise HttpError(400, "'target_bits' must be a number")
+        if not isinstance(max_suggestions, int):
+            raise HttpError(400, "'max_suggestions' must be an integer")
+        call = partial(
+            suggest_stronger, self._meter, password,
+            target_bits=float(target_bits),
+            max_suggestions=max_suggestions,
+            rng=random.Random(0),
+        )
+        try:
+            suggestions = await asyncio.get_running_loop().run_in_executor(
+                None, call
+            )
+        except ValueError as error:
+            raise HttpError(400, str(error))
+        return 200, {
+            "password": password,
+            "target_bits": float(target_bits),
+            "suggestions": [
+                {
+                    "password": s.password,
+                    "probability": s.probability,
+                    "entropy_bits": self._bits(s.probability),
+                    "edits": list(s.edits),
+                }
+                for s in suggestions
+            ],
+        }
+
+    async def _policy(
+        self, request: Request
+    ) -> Tuple[int, Dict[str, Any]]:
+        payload = request.json()
+        password = self._password_field(payload)
+        chosen = payload.get("policy", "6-20")
+        if isinstance(chosen, str):
+            policy = COMMON_POLICIES.get(chosen)
+            if policy is None:
+                known = ", ".join(sorted(COMMON_POLICIES))
+                raise HttpError(
+                    400, f"unknown policy {chosen!r}; known: {known}"
+                )
+        elif isinstance(chosen, dict):
+            unknown = set(chosen) - set(_POLICY_KEYS)
+            if unknown:
+                raise HttpError(
+                    400,
+                    f"unknown policy keys: {', '.join(sorted(unknown))}",
+                )
+            fields = dict(chosen)
+            if "required_classes" in fields:
+                classes = fields["required_classes"]
+                if not isinstance(classes, list):
+                    raise HttpError(
+                        400, "'required_classes' must be a list"
+                    )
+                fields["required_classes"] = tuple(classes)
+            try:
+                policy = PasswordPolicy(**fields)
+            except (TypeError, ValueError) as error:
+                raise HttpError(400, f"invalid policy: {error}")
+        else:
+            raise HttpError(
+                400, "'policy' must be a name or an object"
+            )
+        violations = policy.violations(password)
+        return 200, {
+            "password": password,
+            "policy": policy.describe(),
+            "allowed": not violations,
+            "violations": [
+                {"rule": v.rule, "message": v.message}
+                for v in violations
+            ],
+        }
+
+    async def _accept(
+        self, request: Request
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Online update + hot reload: the measure→update loop."""
+        if not self._updatable:
+            raise HttpError(405, "meter does not support online update")
+        payload = request.json()
+        password = self._password_field(payload)
+        count = payload.get("count", 1)
+        if not isinstance(count, int):
+            raise HttpError(400, "'count' must be an integer")
+        try:
+            self._meter.update(password, count)
+        except ValueError as error:
+            raise HttpError(400, str(error))
+        telemetry = self._telemetry
+        telemetry.incr("serve.accepts")
+        if self._pool is not None:
+            # Rebuild + swap before answering: once the client sees
+            # this response, sequential requests score the new epoch.
+            loop = asyncio.get_running_loop()
+            start = _now()
+            snapshot = await loop.run_in_executor(
+                None, ServingSnapshot.from_meter, self._meter
+            )
+            await loop.run_in_executor(
+                None, self._pool.swap, snapshot
+            )
+            telemetry.incr("serve.reloads")
+            telemetry.observe("serve.reload.seconds", _now() - start)
+        return 200, {
+            "accepted": True,
+            "password": password,
+            "count": count,
+            "epoch": self.epoch,
+        }
+
+    def _consume_respawn(self, future: "asyncio.Future[int]") -> None:
+        if future.cancelled() or future.exception() is not None:
+            self._telemetry.incr("serve.internal.errors")
+
+    async def _healthz(
+        self, request: Request
+    ) -> Tuple[int, Dict[str, Any]]:
+        pool = self._pool
+        workers = pool.statuses() if pool is not None else []
+        healthy = pool.healthy() if pool is not None else True
+        if pool is not None and not healthy:
+            self._telemetry.incr("serve.health.degraded")
+            future = asyncio.get_running_loop().run_in_executor(
+                None, pool.respawn_dead
+            )
+            future.add_done_callback(self._consume_respawn)
+        return (200 if healthy else 503), {
+            "status": "healthy" if healthy else "degraded",
+            "epoch": self.epoch,
+            "workers": workers,
+        }
+
+    def _latency_summary(self) -> Dict[str, Any]:
+        samples = sorted(self._latencies)
+        if not samples:
+            return {"count": 0, "p50": None, "p90": None,
+                    "p99": None, "max": None}
+        last = len(samples) - 1
+
+        def at(quantile: float) -> float:
+            return samples[min(last, int(round(quantile * last)))]
+
+        return {
+            "count": len(samples),
+            "p50": at(0.50),
+            "p90": at(0.90),
+            "p99": at(0.99),
+            "max": samples[last],
+        }
+
+    async def _metrics(
+        self, request: Request
+    ) -> Tuple[int, Dict[str, Any]]:
+        batcher = self._batcher
+        pool = self._pool
+        return 200, {
+            "counters": dict(sorted(self._telemetry.counters().items())),
+            "latency": self._latency_summary(),
+            "batcher": (
+                {
+                    "window": batcher.window,
+                    "max_batch": batcher.max_batch,
+                    "pending": batcher.pending,
+                }
+                if batcher is not None else None
+            ),
+            "workers": pool.statuses() if pool is not None else [],
+            "epoch": self.epoch,
+        }

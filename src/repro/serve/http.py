@@ -1,0 +1,167 @@
+"""Minimal HTTP/1.1 over asyncio streams (stdlib only).
+
+Just enough of RFC 9112 for the serving API: request line + headers +
+``Content-Length`` bodies, keep-alive by default on HTTP/1.1, JSON
+responses with explicit lengths.  Every malformed input maps to a
+clean 4xx/5xx response — the contract tested black-box is that a bad
+client never hangs a connection:
+
+* overlong/garbled request line or headers → 400/431 (connection
+  closed — the stream cannot be resynchronised);
+* ``Transfer-Encoding`` bodies → 501 (never implemented here);
+* missing/invalid ``Content-Length`` → 400;
+* declared body over the configured cap → 413 *before* reading it.
+
+Parsing limits ride on the stream reader's own ``limit`` (the head is
+read with one ``readuntil``, which raises ``LimitOverrunError`` past
+it), so a hostile header can never buffer unbounded bytes.  The head
+is consumed in a single await — request line and headers split in
+memory — keeping per-request event-loop overhead low enough for the
+micro-batcher to matter (see ``benchmarks/test_timing_serving.py``).
+Line endings must be CRLF, as HTTP/1.1 requires.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+import asyncio
+
+#: Cap on accumulated header bytes per request (plus the reader's own
+#: per-line limit, set by the server from this constant).
+MAX_HEADER_BYTES = 16 * 1024
+#: Cap on the number of header fields per request.
+MAX_HEADER_COUNT = 64
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """An HTTP error response to be rendered for the client.
+
+    ``close`` marks errors after which the connection cannot be safely
+    reused (the request stream is out of sync).
+    """
+
+    def __init__(self, status: int, detail: str,
+                 close: bool = False) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+        self.close = close
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body",
+                 "keep_alive")
+
+    def __init__(self, method: str, path: str, query: str,
+                 headers: Dict[str, str], body: bytes,
+                 keep_alive: bool) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+        self.keep_alive = keep_alive
+
+    def json(self) -> Dict[str, Any]:
+        """The body decoded as a JSON object (400 on anything else)."""
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise HttpError(400, "request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> Optional[Request]:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean end-of-stream (client closed between
+    requests, or vanished mid-body — nothing to respond to).  Raises
+    :class:`HttpError` for every malformed shape.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if error.partial.strip():
+            raise HttpError(400, "truncated request head", close=True)
+        return None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request head exceeds the header budget",
+                        close=True)
+    lines = head[:-4].split(b"\r\n")
+    parts = lines[0].decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise HttpError(400, "malformed request line", close=True)
+    method, target, version = parts
+    if len(lines) - 1 > MAX_HEADER_COUNT:
+        raise HttpError(431, "too many header fields", close=True)
+    headers: Dict[str, str] = {}
+    for raw in lines[1:]:
+        name, separator, value = raw.decode("latin-1").partition(":")
+        if not separator or not name.strip():
+            raise HttpError(400, "malformed header line", close=True)
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise HttpError(501, "transfer-encoding bodies are not supported",
+                        close=True)
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+        if length < 0:
+            raise ValueError(length_text)
+    except ValueError:
+        raise HttpError(400, f"invalid content-length {length_text!r}",
+                        close=True)
+    if length > max_body:
+        raise HttpError(
+            413,
+            f"request body of {length} bytes exceeds the "
+            f"{max_body}-byte limit",
+            close=True,
+        )
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.1":
+        keep_alive = connection != "close"
+    else:
+        keep_alive = connection == "keep-alive"
+    path, _separator, query = target.partition("?")
+    return Request(method.upper(), path, query, headers, body, keep_alive)
+
+
+def render_response(status: int, payload: Dict[str, Any],
+                    keep_alive: bool) -> bytes:
+    """One complete JSON response, ready to write."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -1,0 +1,139 @@
+"""The immutable serving snapshot: compiled trie + frozen grammar.
+
+The online serving layer never scores against the mutable training
+tables.  At start-up (and again after every grammar-epoch bump) the
+server compiles the meter's state into a :class:`ServingSnapshot` —
+the flat-array :class:`~repro.core.compiled_trie.CompiledTrie`
+matchers plus the :class:`~repro.core.frozen.FrozenGrammar` scoring
+kernel, stamped with the grammar epoch they were taken at.  The
+snapshot is the *only* thing worker processes ever see: it is seeded
+into each worker exactly once (by fork/COW inheritance, or one pickle
+on spawn platforms) and replaced wholesale on hot reload — request
+handling never re-pickles model state.
+
+:class:`SnapshotScorer` is the executable form: a parser rebuilt
+around the compiled matchers (:meth:`FuzzyParser.from_compiled`) plus
+the frozen kernel, scoring batches through the same
+parse-cached/distinct-memo path as ``FuzzyPSM.probability_many`` — so
+served scores are bit-identical to direct per-call
+``FuzzyPSM.probability`` (asserted black-box by
+``tests/test_serve_http.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.compiled_trie import CompiledTrie
+from repro.core.frozen import FrozenGrammar
+from repro.core.parser import FuzzyParser
+
+
+class ServingSnapshot:
+    """Everything a scoring worker needs, frozen at one grammar epoch.
+
+    Holds only compiled flat-array state (trie snapshots, the frozen
+    grammar, parser flags), so it pickles cheaply and — under the
+    default fork start method — is shared copy-on-write with every
+    worker seeded from it.
+    """
+
+    __slots__ = (
+        "epoch", "forward", "reversed_matcher", "min_length",
+        "flags", "parse_cache_size",
+        "frozen",
+    )
+
+    def __init__(
+        self,
+        epoch: int,
+        forward: CompiledTrie,
+        reversed_matcher: Optional[CompiledTrie],
+        min_length: int,
+        flags: Dict[str, bool],
+        parse_cache_size: int,
+        frozen: FrozenGrammar,
+    ) -> None:
+        self.epoch = epoch
+        self.forward = forward
+        self.reversed_matcher = reversed_matcher
+        self.min_length = min_length
+        self.flags = flags
+        self.parse_cache_size = parse_cache_size
+        self.frozen = frozen
+
+    @classmethod
+    def from_meter(cls, meter: Any) -> "ServingSnapshot":
+        """Snapshot a ``FuzzyPSM``-shaped meter at its current epoch.
+
+        Requires the compiled-trie parse path (``use_compiled_trie``)
+        — the pointer trie is deliberately never broadcast
+        (:meth:`FuzzyParser.ensure_compiled_matchers` raises
+        otherwise).  The duck-typed surface (``parser``,
+        ``frozen_grammar``, ``trie``, ``config``) is exactly the
+        parallel-scorable capability's; callers gate on the registry
+        capability, never on a concrete meter type.
+        """
+        parser: FuzzyParser = meter.parser
+        forward, reversed_matcher = parser.ensure_compiled_matchers()
+        frozen: FrozenGrammar = meter.frozen_grammar()
+        return cls(
+            epoch=frozen.epoch,
+            forward=forward,
+            reversed_matcher=reversed_matcher,
+            min_length=meter.trie.min_length,
+            flags=parser.flags,
+            parse_cache_size=meter.config.parse_cache_size,
+            frozen=frozen,
+        )
+
+    def build_scorer(self) -> "SnapshotScorer":
+        """An executable scorer over this snapshot (one per process)."""
+        return SnapshotScorer(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServingSnapshot(epoch={self.epoch}, "
+            f"terminals={self.frozen.terminal_count})"
+        )
+
+
+class SnapshotScorer:
+    """Batch scorer over one :class:`ServingSnapshot`.
+
+    Mirrors the serial fast path of ``FuzzyPSM.probability_many``:
+    parses through the LRU parse cache, memoises per distinct password
+    within the batch, and evaluates derivations against the frozen
+    kernel — the blessed batch configuration (ROADMAP item 5), never
+    the per-call dict-table loop.
+    """
+
+    __slots__ = ("epoch", "_parser", "_frozen")
+
+    def __init__(self, snapshot: ServingSnapshot) -> None:
+        self.epoch = snapshot.epoch
+        self._parser = FuzzyParser.from_compiled(
+            snapshot.forward,
+            snapshot.reversed_matcher,
+            snapshot.min_length,
+            snapshot.flags,
+            parse_cache_size=snapshot.parse_cache_size,
+        )
+        self._frozen = snapshot.frozen
+
+    def score_many(self, passwords: Sequence[str]) -> List[float]:
+        """One probability per input, bit-identical to per-call scores."""
+        parse = self._parser.parse_cached
+        score = self._frozen.derivation_probability
+        memo: Dict[str, float] = {}
+        out: List[float] = []
+        for password in passwords:
+            value = memo.get(password)
+            if value is None:
+                if password:
+                    value = score(parse(password).to_derivation())
+                else:
+                    value = 0.0
+                memo[password] = value
+            out.append(value)
+        return out

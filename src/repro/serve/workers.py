@@ -1,0 +1,280 @@
+"""Warm scoring workers: seeded once, supervised, hot-swappable.
+
+Each worker is a long-lived ``multiprocessing.Process`` connected to
+the server by one duplex pipe.  The :class:`ServingSnapshot` is handed
+to the worker at spawn time — under the fork start method it arrives
+by copy-on-write inheritance, on spawn platforms as a single pickle —
+and *never again per request*: request traffic carries only password
+lists and score lists.  A hot reload ships the new snapshot down the
+pipe exactly once per worker per epoch; because the pipe is FIFO and
+each worker handles one message at a time, every batch already queued
+ahead of the swap finishes on the old snapshot.
+
+Crash handling is the pool's job, not the caller's: a batch sent to a
+worker that died (killed, OOM, segfault) surfaces as a pipe error, the
+pool marks the worker dead, respawns it seeded with the *current*
+snapshot, and redispatches the batch to a surviving worker — falling
+back to scoring inline in the server process when every worker is down
+— so no request is ever dropped on a worker failure.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.obs.core import Telemetry, now as _now
+from repro.serve.snapshot import ServingSnapshot, SnapshotScorer
+
+#: Seconds a dispatcher waits on a worker reply before declaring the
+#: worker wedged.  Generous — batches score in milliseconds; this only
+#: fires for a live-but-stuck process, which is treated like a crash.
+WORKER_REPLY_TIMEOUT = 30.0
+
+try:  # Fork start method: snapshot seeding is COW, not a pickle.
+    _CONTEXT = multiprocessing.get_context("fork")
+except ValueError:  # pragma: no cover - non-fork platforms
+    _CONTEXT = multiprocessing.get_context()
+
+
+class WorkerCrash(RuntimeError):
+    """A worker died (or wedged) under a request; the pool retries."""
+
+
+def _serve_worker_main(connection: Any, snapshot: ServingSnapshot) -> None:
+    """Worker process entrypoint: score batches until told to stop.
+
+    All state lives in locals — the worker writes no module globals
+    (fork-safety rule FPM012), so respawned workers are exact replays.
+    Messages are ``(kind, ...)`` tuples:
+
+    * ``("score", [pw, ...])`` → ``("scored", epoch, [p, ...], secs)``;
+    * ``("swap", snapshot)``   → ``("swapped", epoch)`` — rebuilds the
+      scorer; in-flight batches queued earlier already drained;
+    * ``("ping",)``            → ``("pong", epoch)``;
+    * ``("stop",)``            → ``("stopped",)`` and exit.
+    """
+    scorer: SnapshotScorer = snapshot.build_scorer()
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "score":
+            start = _now()
+            scores = scorer.score_many(message[1])
+            connection.send(
+                ("scored", scorer.epoch, scores, _now() - start)
+            )
+        elif kind == "swap":
+            scorer = message[1].build_scorer()
+            connection.send(("swapped", scorer.epoch))
+        elif kind == "ping":
+            connection.send(("pong", scorer.epoch))
+        elif kind == "stop":
+            connection.send(("stopped",))
+            break
+    connection.close()
+
+
+class _WorkerHandle:
+    """One worker process plus its pipe and dispatch lock."""
+
+    __slots__ = ("process", "connection", "lock", "dead")
+
+    def __init__(self, snapshot: ServingSnapshot) -> None:
+        parent, child = _CONTEXT.Pipe()
+        self.process = _CONTEXT.Process(
+            target=_serve_worker_main, args=(child, snapshot), daemon=True
+        )
+        self.process.start()
+        child.close()
+        self.connection = parent
+        self.lock = threading.Lock()
+        self.dead = False
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return not self.dead and self.process.is_alive()
+
+    def request(self, message: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Blocking send/recv round trip (executor threads only).
+
+        The per-handle lock serialises dispatchers onto the pipe; any
+        pipe failure or reply timeout marks the handle dead and raises
+        :class:`WorkerCrash` so the pool can respawn and retry.
+        """
+        with self.lock:
+            if self.dead:
+                raise WorkerCrash(
+                    f"worker pid={self.pid} already marked dead"
+                )
+            try:
+                self.connection.send(message)
+                if not self.connection.poll(WORKER_REPLY_TIMEOUT):
+                    self.dead = True
+                    raise WorkerCrash(
+                        f"worker pid={self.pid} timed out after "
+                        f"{WORKER_REPLY_TIMEOUT}s"
+                    )
+                return self.connection.recv()
+            except (EOFError, BrokenPipeError, OSError) as error:
+                self.dead = True
+                raise WorkerCrash(
+                    f"worker pid={self.pid} died mid-request: {error!r}"
+                ) from error
+
+    def stop(self, join_timeout: float = 2.0) -> None:
+        """Best-effort graceful stop, then terminate."""
+        if self.alive():
+            try:
+                with self.lock:
+                    self.connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                self.dead = True
+        self.process.join(timeout=join_timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=join_timeout)
+        self.dead = True
+        self.connection.close()
+
+
+class WorkerPool:
+    """A fixed-size pool of warm workers with supervised respawn.
+
+    All methods are blocking (the async server calls them through an
+    executor).  The pool always tracks one *current* snapshot: spawns
+    and respawns seed from it, :meth:`swap` replaces it and broadcasts
+    the replacement to the live workers.
+    """
+
+    def __init__(
+        self,
+        snapshot: ServingSnapshot,
+        size: int,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"worker pool size must be >= 1, got {size}")
+        self._snapshot = snapshot
+        self._telemetry = telemetry if telemetry is not None else obs.get()
+        self._handles: List[_WorkerHandle] = [
+            _WorkerHandle(snapshot) for _ in range(size)
+        ]
+        self._round_robin = 0
+        self._respawn_lock = threading.Lock()
+        self._fallback: Optional[SnapshotScorer] = None
+
+    # --- introspection -------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._handles)
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the snapshot workers are (being) seeded with."""
+        return self._snapshot.epoch
+
+    def statuses(self) -> List[Dict[str, Any]]:
+        """Liveness of every worker, for ``/healthz``."""
+        return [
+            {"pid": handle.pid, "alive": handle.alive()}
+            for handle in self._handles
+        ]
+
+    def healthy(self) -> bool:
+        return all(handle.alive() for handle in self._handles)
+
+    # --- scoring -------------------------------------------------------
+
+    def score(
+        self, passwords: List[str]
+    ) -> Tuple[int, List[float], float]:
+        """Score one batch on some worker; never drops the batch.
+
+        Returns ``(epoch, scores, worker_seconds)``.  Crashed workers
+        are respawned and the batch redispatched; with every worker
+        down the batch is scored inline on the pool's current snapshot
+        (``serve.worker.fallback.inline``).
+        """
+        telemetry = self._telemetry
+        for _ in range(len(self._handles) + 1):
+            handle = self._next_alive()
+            if handle is None:
+                break
+            try:
+                reply = handle.request(("score", passwords))
+            except WorkerCrash:
+                telemetry.incr("serve.worker.crashes")
+                self.respawn_dead()
+                continue
+            return reply[1], reply[2], reply[3]
+        telemetry.incr("serve.worker.fallback.inline")
+        self.respawn_dead()
+        scorer = self._fallback_scorer()
+        start = _now()
+        scores = scorer.score_many(passwords)
+        return scorer.epoch, scores, _now() - start
+
+    def _next_alive(self) -> Optional[_WorkerHandle]:
+        """Round-robin over live workers (None when all are dead)."""
+        handles = self._handles
+        for _ in range(len(handles)):
+            self._round_robin = (self._round_robin + 1) % len(handles)
+            handle = handles[self._round_robin]
+            if handle.alive():
+                return handle
+        return None
+
+    def _fallback_scorer(self) -> SnapshotScorer:
+        """In-process scorer over the current snapshot (last resort)."""
+        scorer = self._fallback
+        if scorer is None or scorer.epoch != self._snapshot.epoch:
+            scorer = self._snapshot.build_scorer()
+            self._fallback = scorer
+        return scorer
+
+    # --- lifecycle -----------------------------------------------------
+
+    def respawn_dead(self) -> int:
+        """Replace every dead worker with one seeded from the current
+        snapshot; returns how many were replaced."""
+        with self._respawn_lock:
+            replaced = 0
+            for index, handle in enumerate(self._handles):
+                if handle.alive():
+                    continue
+                handle.stop()
+                self._handles[index] = _WorkerHandle(self._snapshot)
+                replaced += 1
+            if replaced:
+                self._telemetry.incr("serve.worker.respawns", replaced)
+            return replaced
+
+    def swap(self, snapshot: ServingSnapshot) -> None:
+        """Atomically adopt ``snapshot`` and broadcast it to workers.
+
+        The pool snapshot is replaced first, so any respawn from here
+        on seeds the new epoch; each live worker then receives the
+        snapshot once.  Workers that die during the broadcast are
+        respawned — already seeded with the new snapshot.
+        """
+        self._snapshot = snapshot
+        for handle in list(self._handles):
+            try:
+                handle.request(("swap", snapshot))
+            except WorkerCrash:
+                self._telemetry.incr("serve.worker.crashes")
+                self.respawn_dead()
+
+    def stop(self) -> None:
+        for handle in self._handles:
+            handle.stop()

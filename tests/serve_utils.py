@@ -1,0 +1,148 @@
+"""Shared async HTTP client helpers for the serving test suites.
+
+Deliberately *not* built on the server's own :mod:`repro.serve.http`
+parser: the serving tests are black-box, so the client side speaks raw
+bytes over ``asyncio.open_connection`` and parses responses with its
+own minimal reader.  A shared helper keeps the three suites (HTTP,
+lifecycle, batching) and the throughput bench on identical client
+behaviour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Any, AsyncIterator, Dict, Optional, Tuple
+
+from repro.core.meter import FuzzyPSM
+from repro.serve import ReproServer, ServeConfig
+
+from tests.conftest import BASE_DICTIONARY, TRAINING_PASSWORDS
+
+#: A spread of inputs the serving suites score: seen during training,
+#: transformed variants, unseen strings, unicode, and the empty edge.
+SERVE_PASSWORDS = [
+    "password", "password123", "Password123", "p@ssw0rd", "123456",
+    "iloveyou1", "woaini520", "qwerty12", "monkey99", "letmein!",
+    "totally-novel-string", "Zx9#kk", "ab", "", "pässword",
+]
+
+
+def run(coro: Any, timeout: float = 60.0) -> Any:
+    """``asyncio.run`` with a hang guard (no pytest-asyncio here)."""
+    async def bounded() -> Any:
+        return await asyncio.wait_for(coro, timeout=timeout)
+    return asyncio.run(bounded())
+
+
+def train_serve_meter() -> FuzzyPSM:
+    """A small deterministic meter, private to one test/bench module.
+
+    The session-scoped ``fuzzy_meter`` fixture must never be served:
+    ``/accept`` mutates the meter, which would leak across suites.
+    """
+    return FuzzyPSM.train(
+        list(BASE_DICTIONARY), list(TRAINING_PASSWORDS)
+    )
+
+
+@contextlib.asynccontextmanager
+async def running_server(
+    meter: Any, config: Optional[ServeConfig] = None
+) -> AsyncIterator[ReproServer]:
+    """A started :class:`ReproServer` on an ephemeral port."""
+    server = ReproServer(meter, config if config is not None
+                         else ServeConfig())
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop()
+
+
+class ServeClient:
+    """One keep-alive HTTP/1.1 connection speaking raw bytes."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1") -> None:
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+
+    async def close(self) -> None:
+        writer = self._writer
+        self._reader = self._writer = None
+        if writer is not None:
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    async def send_raw(self, payload: bytes) -> None:
+        assert self._writer is not None, "client is not connected"
+        self._writer.write(payload)
+        await self._writer.drain()
+
+    async def read_response(self) -> Tuple[int, Dict[str, Any]]:
+        """Parse one ``Content-Length``-framed JSON response."""
+        reader = self._reader
+        assert reader is not None, "client is not connected"
+        status_line = await reader.readline()
+        assert status_line, "server closed before responding"
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = await reader.readexactly(length)
+        return status, json.loads(body)
+
+    async def request(
+        self, method: str, path: str,
+        body: Optional[Dict[str, Any]] = None,
+        close: bool = False,
+    ) -> Tuple[int, Dict[str, Any]]:
+        payload = (b"" if body is None
+                   else json.dumps(body).encode("utf-8"))
+        connection = "close" if close else "keep-alive"
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self._host}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {connection}\r\n"
+            "\r\n"
+        )
+        await self.send_raw(head.encode("latin-1") + payload)
+        return await self.read_response()
+
+    async def check(self, password: str) -> Dict[str, Any]:
+        status, payload = await self.request(
+            "POST", "/check", {"password": password}
+        )
+        assert status == 200, payload
+        return payload
+
+
+async def one_shot(
+    port: int, method: str, path: str,
+    body: Optional[Dict[str, Any]] = None,
+) -> Tuple[int, Dict[str, Any]]:
+    """Open, send one request with ``Connection: close``, read, done."""
+    async with ServeClient(port) as client:
+        return await client.request(method, path, body, close=True)

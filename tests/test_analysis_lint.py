@@ -616,6 +616,22 @@ class TestForkSafety:
         )
         assert [v.rule_id for v in violations] == ["FPM012", "FPM012"]
 
+    def test_literal_submit_argument_is_not_a_task(self, tmp_path):
+        # ``.submit("data")`` on some non-executor object (an async
+        # batcher, a bound collection) passes data, not a callable —
+        # a constant first argument must never read as a lambda.
+        violations = lint_project(
+            tmp_path,
+            {
+                "client.py": """
+                    async def enqueue(batcher):
+                        return await batcher.submit("password123")
+                """
+            },
+            select=["FPM012"],
+        )
+        assert violations == []
+
     def test_check_source_degrades_gracefully_without_index(self):
         # No index -> the rule cannot see call sites and stays silent
         # instead of guessing.
