@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke serve-smoke examples reproduce lint coverage clean
+.PHONY: install test bench bench-smoke serve-smoke attack-smoke examples reproduce lint coverage clean
 
 install:
 	pip install -e '.[dev]' --no-build-isolation
@@ -23,13 +23,20 @@ bench-smoke:
 		benchmarks/test_timing_training_engine.py \
 		benchmarks/test_timing_measure.py \
 		benchmarks/test_timing_lint.py \
-		benchmarks/test_timing_serving.py -q
+		benchmarks/test_timing_serving.py \
+		benchmarks/test_timing_attack_engine.py -q
 
 # End-to-end smoke of `repro serve` as a real subprocess: trains a
 # tiny model, boots the CLI on an ephemeral port, hits every endpoint
 # over a socket, and requires a clean SIGTERM shutdown.
 serve-smoke:
 	PYTHONPATH=src python tools/serve_smoke.py
+
+# End-to-end smoke of `repro attack` as a real subprocess: trains
+# fuzzyPSM + PCFG models on tiny corpora and drives all four attack
+# subcommands (enumerate / masks / simulate / crossover).
+attack-smoke:
+	PYTHONPATH=src python tools/attack_smoke.py
 
 examples:
 	@for script in examples/*.py; do \

@@ -37,6 +37,12 @@ BLESSED_PRODUCT_SCOPES = frozenset(
         "PCFGMeter.sample",
         "MarkovMeter.probability",
         "MarkovMeter._sample_once",
+        # The attack engine replicates FrozenGrammar.derivation_probability's
+        # factor association so emitted probabilities stay bit-identical
+        # to the kernel (asserted in tests/test_attacks_engine.py).
+        "AttackEngine._enumerate",
+        "AttackEngine._terminal_stream",
+        "AttackEngine._case_options",
     }
 )
 

@@ -1,10 +1,38 @@
-"""Trawling guessing-attack simulation (paper Sec. II-A, Table I).
+"""Attack-side view of the model (paper Sec. II-A, Table I).
 
+* :mod:`~repro.attacks.engine` — the compiled guess pipeline: exact
+  and beam-bounded enumeration over the frozen grammar, fast
+  Monte-Carlo sampling, and the :class:`GuessStream` abstraction every
+  consumer below accepts.
+* :mod:`~repro.attacks.masks` — hashcat-style mask/rule compilation
+  and the analytic keyspace extrapolation behind 10^10-scale
+  crossover curves.
 * :mod:`~repro.attacks.simulator` — online (lockout-limited) and
   offline (hash-rate-limited) trawling attacks against a corpus of
   accounts, driven by any guess stream.
 """
 
+from repro.attacks.engine import (
+    AttackEngine,
+    Beam,
+    EnumerationStats,
+    FrozenSampler,
+    GuessStream,
+    guess_stream_for,
+)
+from repro.attacks.masks import (
+    CrossoverReport,
+    MaskEntry,
+    MaskSet,
+    MeterCurves,
+    RuleEntry,
+    compile_mask_set,
+    compile_rules,
+    crossover_report,
+    decade_checkpoints,
+    mask_keyspace,
+    mask_of,
+)
 from repro.attacks.simulator import (
     AttackOutcome,
     HashFunctionProfile,
@@ -15,10 +43,27 @@ from repro.attacks.simulator import (
 )
 
 __all__ = [
+    "AttackEngine",
     "AttackOutcome",
+    "Beam",
+    "CrossoverReport",
+    "EnumerationStats",
+    "FrozenSampler",
+    "GuessStream",
     "HashFunctionProfile",
     "LockoutPolicy",
+    "MaskEntry",
+    "MaskSet",
+    "MeterCurves",
     "OfflineAttack",
     "OnlineAttack",
+    "RuleEntry",
     "HASH_PROFILES",
+    "compile_mask_set",
+    "compile_rules",
+    "crossover_report",
+    "decade_checkpoints",
+    "guess_stream_for",
+    "mask_keyspace",
+    "mask_of",
 ]

@@ -1,0 +1,495 @@
+"""Mask and rule compilation: the grammar as an offline attack artifact.
+
+The paper's Table I puts the offline threat model at > 10^9 guesses —
+far beyond what any per-guess enumeration can materialize.  Real
+offline attacks do not enumerate from a grammar at that scale; they
+run compiled artifacts: **hashcat-style masks** (per-position character
+classes, e.g. ``?l?l?l?l?d?d``) and **substitution rules** (``c``,
+``sa@``, ...), the approach of PACK's policygen/rulegen.  A trained
+fuzzy PCFG can emit both, ranked by its own probability model.
+
+Masks are compiled from the top of the engine's guess stream: each
+guess maps to its mask, and a mask accumulates the model probability
+mass of the guesses it covers.  Ranking policies:
+
+* ``efficiency`` — mass per candidate (``probability / keyspace``),
+  PACK's default: best expected yield per hash computed;
+* ``mass`` — raw model probability mass, greedy coverage;
+* ``keyspace`` — cheapest masks first, classic increment mode.
+
+Because a mask's keyspace is analytic (product of class sizes), a
+ranked mask set extends a cracking curve to any budget *without
+materializing guesses*: ``guesses_to_mask_index`` locates the mask
+under execution at guess ``g`` by bisecting cumulative keyspace, and
+``coverage`` credits each victim password the executed fraction of its
+mask (guess order inside a mask is unmodelled, so the fraction is the
+expected value under a uniform position).  That extrapolation is what
+lets ``repro attack crossover`` compare meters at 10^10 guesses.
+
+Substitution rules come straight from the grammar's transformation
+tables: the capitalization, reverse, all-caps and per-leet-pair Yes
+probabilities rank hashcat rule lines.
+
+:func:`crossover_report` assembles the full paper-style comparison:
+materialized online curves (10^4) and mask-extrapolated offline curves
+(10^10) for several meters on one victim corpus, plus the budgets at
+which the meters' ordering flips.
+"""
+
+from __future__ import annotations
+
+import string
+from bisect import bisect_right
+from dataclasses import dataclass
+from itertools import accumulate
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro import obs
+from repro.core.frozen import FrozenGrammar
+from repro.datasets.corpus import PasswordCorpus
+from repro.metrics.cracking import CrackPoint, cracking_curve
+from repro.metrics.curves import crossover_point
+from repro.util.leet import LEET_PAIRS
+
+#: Hashcat character classes and their sizes over the 95 printable
+#: ASCII characters (paper Sec. II-B): ``?s`` is everything that is
+#: not a letter or digit, 95 - 26 - 26 - 10 = 33.
+CHARSET_SIZES: Dict[str, int] = {"?l": 26, "?u": 26, "?d": 10, "?s": 33}
+
+MASK_POLICIES: Tuple[str, ...] = ("efficiency", "mass", "keyspace")
+
+_LOWER = frozenset(string.ascii_lowercase)
+_UPPER = frozenset(string.ascii_uppercase)
+_DIGIT = frozenset(string.digits)
+
+
+def mask_of(password: str) -> str:
+    """The hashcat mask covering ``password``.
+
+    >>> mask_of("Pass12!")
+    '?u?l?l?l?d?d?s'
+    """
+    tokens = []
+    for ch in password:
+        if ch in _LOWER:
+            tokens.append("?l")
+        elif ch in _UPPER:
+            tokens.append("?u")
+        elif ch in _DIGIT:
+            tokens.append("?d")
+        else:
+            tokens.append("?s")
+    return "".join(tokens)
+
+
+def mask_keyspace(mask: str) -> int:
+    """Number of candidate strings the mask expands to.
+
+    >>> mask_keyspace("?l?d")
+    260
+    """
+    if len(mask) % 2:
+        raise ValueError(f"malformed mask {mask!r}")
+    keyspace = 1
+    for position in range(0, len(mask), 2):
+        token = mask[position:position + 2]
+        size = CHARSET_SIZES.get(token)
+        if size is None:
+            raise ValueError(f"unknown mask token {token!r} in {mask!r}")
+        keyspace *= size
+    return keyspace
+
+
+@dataclass(frozen=True)
+class MaskEntry:
+    """One ranked mask.
+
+    Attributes:
+        mask: the hashcat mask string.
+        keyspace: analytic candidate count of the mask.
+        probability: model probability mass of the source guesses that
+            fall under this mask (a lower bound on the mask's true
+            mass — only materialized guesses contribute).
+        observed: number of source guesses that mapped to this mask.
+    """
+
+    mask: str
+    keyspace: int
+    probability: float
+    observed: int
+
+    @property
+    def efficiency(self) -> float:
+        """Expected mass recovered per candidate hashed."""
+        return self.probability / self.keyspace
+
+
+@dataclass(frozen=True)
+class RuleEntry:
+    """One hashcat rule line derived from a grammar transformation."""
+
+    rule: str
+    description: str
+    probability: float
+
+
+class MaskSet:
+    """An ordered, analytically-extrapolatable compiled mask attack.
+
+    Entries are in execution order (already ranked by the compilation
+    policy); cumulative keyspace is precomputed so budget-to-position
+    queries are O(log n).
+    """
+
+    def __init__(
+        self,
+        entries: Sequence[MaskEntry],
+        policy: str,
+        source_guesses: int,
+        rules: Sequence[RuleEntry] = (),
+        source: str = "",
+    ) -> None:
+        if policy not in MASK_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {MASK_POLICIES}"
+            )
+        self.entries: Tuple[MaskEntry, ...] = tuple(entries)
+        self.policy = policy
+        self.source_guesses = source_guesses
+        self.rules: Tuple[RuleEntry, ...] = tuple(rules)
+        self.source = source
+        self._cumulative: List[int] = list(
+            accumulate(entry.keyspace for entry in self.entries)
+        )
+        self._rank: Dict[str, int] = {
+            entry.mask: position
+            for position, entry in enumerate(self.entries)
+        }
+
+    @property
+    def total_keyspace(self) -> int:
+        """Candidates tried when every mask runs to completion."""
+        return self._cumulative[-1] if self._cumulative else 0
+
+    def guesses_to_mask_index(self, guesses: float) -> int:
+        """Index of the mask under execution after ``guesses`` guesses.
+
+        Analytic — no guess is materialized.  Returns ``len(entries)``
+        once the budget exceeds the total keyspace.
+
+        >>> masks = MaskSet(
+        ...     [MaskEntry("?d", 10, 0.5, 5),
+        ...      MaskEntry("?l?l", 676, 0.3, 3)],
+        ...     policy="mass", source_guesses=8,
+        ... )
+        >>> masks.guesses_to_mask_index(3)
+        0
+        >>> masks.guesses_to_mask_index(10)
+        1
+        >>> masks.guesses_to_mask_index(10**6)
+        2
+        """
+        if guesses < 0:
+            raise ValueError("guess budget must be >= 0")
+        return bisect_right(self._cumulative, guesses)
+
+    def executed_fraction(self, mask: str, guesses: float) -> float:
+        """Fraction of ``mask``'s keyspace tried within the budget.
+
+        0.0 for masks not in the set (the modelled attacker never
+        reaches them) and for masks not yet started.
+        """
+        position = self._rank.get(mask)
+        if position is None:
+            return 0.0
+        before = self._cumulative[position - 1] if position else 0
+        entry = self.entries[position]
+        done = (guesses - before) / entry.keyspace
+        return min(1.0, max(0.0, done))
+
+    def coverage(self, victims: PasswordCorpus, guesses: float) -> float:
+        """Expected fraction of ``victims`` cracked within ``guesses``.
+
+        Each victim password is credited the executed fraction of its
+        mask — the expected outcome when position inside a mask's
+        keyspace is uniform.  Weighted by multiplicity, like
+        :func:`~repro.metrics.cracking.cracking_curve`.
+        """
+        total = victims.total
+        if total == 0:
+            raise ValueError("empty victim corpus")
+        by_mask: Dict[str, int] = {}
+        for password, count in victims.items():
+            mask = mask_of(password)
+            by_mask[mask] = by_mask.get(mask, 0) + count
+        cracked = 0.0
+        for mask, count in by_mask.items():
+            fraction = self.executed_fraction(mask, guesses)
+            if fraction:
+                cracked += count * fraction
+        return cracked / total
+
+    def coverage_curve(
+        self, victims: PasswordCorpus, checkpoints: Sequence[int]
+    ) -> List[CrackPoint]:
+        """Mask-extrapolated cracking curve over ``checkpoints``."""
+        return [
+            CrackPoint(checkpoint, self.coverage(victims, checkpoint))
+            for checkpoint in sorted(checkpoints)
+        ]
+
+    # --- persistence payload -------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload (wrapped in an envelope by persistence)."""
+        return {
+            "policy": self.policy,
+            "source": self.source,
+            "source_guesses": self.source_guesses,
+            "entries": [
+                [entry.mask, entry.keyspace, entry.probability,
+                 entry.observed]
+                for entry in self.entries
+            ],
+            "rules": [
+                [rule.rule, rule.description, rule.probability]
+                for rule in self.rules
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MaskSet":
+        return cls(
+            entries=[
+                MaskEntry(mask, keyspace, probability, observed)
+                for mask, keyspace, probability, observed
+                in data["entries"]
+            ],
+            policy=data["policy"],
+            source_guesses=data["source_guesses"],
+            rules=[
+                RuleEntry(rule, description, probability)
+                for rule, description, probability in data["rules"]
+            ],
+            source=data.get("source", ""),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MaskSet(policy={self.policy!r}, masks={len(self.entries)}, "
+            f"keyspace={self.total_keyspace})"
+        )
+
+
+def compile_mask_set(
+    guesses: Iterable[Tuple[str, float]],
+    policy: str = "efficiency",
+    max_masks: Optional[int] = None,
+    rules: Sequence[RuleEntry] = (),
+    source: str = "",
+) -> MaskSet:
+    """Aggregate a guess stream into a ranked :class:`MaskSet`.
+
+    Model-agnostic: any descending ``(surface, probability)`` stream
+    works (the fuzzyPSM engine, a baseline meter's ``iter_guesses``, a
+    replayed wordlist with weights).  The stream is consumed fully, so
+    bound it (e.g. ``engine.guesses(limit=10**5)``) before compiling.
+    """
+    if policy not in MASK_POLICIES:
+        raise ValueError(
+            f"unknown policy {policy!r}; choose from {MASK_POLICIES}"
+        )
+    mass: Dict[str, float] = {}
+    observed: Dict[str, int] = {}
+    source_guesses = 0
+    for surface, probability in guesses:
+        if not surface:
+            continue
+        source_guesses += 1
+        mask = mask_of(surface)
+        mass[mask] = mass.get(mask, 0.0) + probability
+        observed[mask] = observed.get(mask, 0) + 1
+    entries = [
+        MaskEntry(mask, mask_keyspace(mask), mass[mask], observed[mask])
+        for mask in mass
+    ]
+    if policy == "efficiency":
+        entries.sort(key=lambda e: (-e.efficiency, e.mask))
+    elif policy == "mass":
+        entries.sort(key=lambda e: (-e.probability, e.mask))
+    else:  # keyspace
+        entries.sort(key=lambda e: (e.keyspace, -e.probability, e.mask))
+    truncated = 0
+    if max_masks is not None and len(entries) > max_masks:
+        truncated = len(entries) - max_masks
+        entries = entries[:max_masks]
+    telemetry = obs.get()
+    if telemetry.enabled:
+        telemetry.incr_many([
+            ("attack.masks.compiled", len(entries)),
+            ("attack.masks.source_guesses", source_guesses),
+            ("attack.masks.truncated", truncated),
+        ])
+    return MaskSet(
+        entries, policy=policy, source_guesses=source_guesses,
+        rules=rules, source=source,
+    )
+
+
+def compile_rules(frozen: FrozenGrammar) -> Tuple[RuleEntry, ...]:
+    """Hashcat rule lines from a grammar's transformation tables.
+
+    One line per transformation the grammar has actually observed
+    (zero-probability rules are dropped), ranked by model probability,
+    plus the ``:`` pass-through whose probability is that of applying
+    no case/reverse transformation at all.
+    """
+    cap_no, cap_yes = frozen.capitalization_pair
+    rev_no, rev_yes = frozen.reverse_pair
+    ac_no, ac_yes = frozen.allcaps_pair
+    entries: List[RuleEntry] = [
+        RuleEntry(":", "keep the word as-is", cap_no * rev_no * ac_no)
+    ]
+    if cap_yes > 0.0:
+        entries.append(
+            RuleEntry("c", "capitalize the first letter", cap_yes)
+        )
+    if rev_yes > 0.0:
+        entries.append(RuleEntry("r", "reverse the word", rev_yes))
+    if ac_yes > 0.0:
+        entries.append(RuleEntry("u", "uppercase every letter", ac_yes))
+    for position, (name, letter, substitute) in enumerate(LEET_PAIRS):
+        pair = frozen.leet_pairs[position]
+        if pair[1] > 0.0:
+            entries.append(
+                RuleEntry(
+                    f"s{letter}{substitute}",
+                    f"substitute {letter} -> {substitute} ({name})",
+                    pair[1],
+                )
+            )
+    entries.sort(key=lambda rule: (-rule.probability, rule.rule))
+    return tuple(entries)
+
+
+# --- crossover analysis ----------------------------------------------
+
+
+def decade_checkpoints(budget: int, start: int = 1) -> List[int]:
+    """Powers of ten from ``start`` through ``budget`` (inclusive).
+
+    >>> decade_checkpoints(10**4)
+    [1, 10, 100, 1000, 10000]
+    >>> decade_checkpoints(5000, start=10)
+    [10, 100, 1000, 5000]
+    """
+    if budget < start or start < 1:
+        raise ValueError("need 1 <= start <= budget")
+    checkpoints = []
+    value = start
+    while value < budget:
+        checkpoints.append(value)
+        value *= 10
+    checkpoints.append(budget)
+    return checkpoints
+
+
+@dataclass(frozen=True)
+class MeterCurves:
+    """One meter's online and offline curves plus its compiled masks."""
+
+    name: str
+    online: Tuple[CrackPoint, ...]
+    offline: Tuple[CrackPoint, ...]
+    mask_set: MaskSet
+
+    def online_fraction(self) -> float:
+        return self.online[-1].cracked_fraction
+
+    def offline_fraction(self) -> float:
+        return self.offline[-1].cracked_fraction
+
+
+@dataclass(frozen=True)
+class CrossoverReport:
+    """Online/offline comparison of several meters on one victim set.
+
+    ``online_crossover`` / ``offline_crossover`` are the first grid
+    budgets at which the first two meters' curves flip order (``None``
+    when one dominates throughout); each is ``(guesses, fraction_a,
+    fraction_b)``.
+    """
+
+    curves: Tuple[MeterCurves, ...]
+    online_budget: int
+    offline_budget: int
+    online_crossover: Optional[Tuple[float, float, float]]
+    offline_crossover: Optional[Tuple[float, float, float]]
+
+
+def _as_pairs(points: Sequence[CrackPoint]) -> List[Tuple[float, float]]:
+    return [(point.guesses, point.cracked_fraction) for point in points]
+
+
+def crossover_report(
+    streams: Sequence[Tuple[str, Iterable[Tuple[str, float]]]],
+    victims: PasswordCorpus,
+    online_budget: int = 10**4,
+    offline_budget: int = 10**10,
+    policy: str = "efficiency",
+    enumerate_limit: Optional[int] = None,
+) -> CrossoverReport:
+    """Online (materialized) vs offline (mask-extrapolated) comparison.
+
+    Args:
+        streams: ``(name, guess stream)`` per meter, descending order;
+            the first two meters define the crossover points.
+        victims: the attacked corpus.
+        online_budget: materialized horizon (paper Table I: < 10^4).
+        offline_budget: extrapolated horizon (> 10^9).
+        policy: mask ranking policy for the offline extrapolation.
+        enumerate_limit: guesses materialized per stream, feeding both
+            the online curve and mask compilation (default: the online
+            budget).
+    """
+    if len(streams) < 2:
+        raise ValueError("crossover needs at least two meters")
+    if offline_budget <= online_budget:
+        raise ValueError("offline budget must exceed the online budget")
+    limit = enumerate_limit if enumerate_limit is not None else (
+        online_budget
+    )
+    limit = max(limit, online_budget)
+    online_grid = decade_checkpoints(online_budget)
+    offline_grid = decade_checkpoints(offline_budget, start=online_budget)
+    curves: List[MeterCurves] = []
+    for name, stream in streams:
+        head: List[Tuple[str, float]] = []
+        for item in stream:
+            head.append(item)
+            if len(head) >= limit:
+                break
+        online = tuple(cracking_curve(iter(head), victims, online_grid))
+        mask_set = compile_mask_set(head, policy=policy, source=name)
+        offline = tuple(mask_set.coverage_curve(victims, offline_grid))
+        curves.append(MeterCurves(name, online, offline, mask_set))
+    first, second = curves[0], curves[1]
+    return CrossoverReport(
+        curves=tuple(curves),
+        online_budget=online_budget,
+        offline_budget=offline_budget,
+        online_crossover=crossover_point(
+            _as_pairs(first.online), _as_pairs(second.online)
+        ),
+        offline_crossover=crossover_point(
+            _as_pairs(first.offline), _as_pairs(second.offline)
+        ),
+    )

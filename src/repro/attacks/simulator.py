@@ -13,20 +13,60 @@ Table I distinguishes trawling attackers by channel:
   recommends).
 
 Both attacks take a *guess stream* — any decreasing-probability
-iterator, e.g. ``meter.iter_guesses()`` or a corpus head — and a
-test corpus of accounts (one account per entry, duplicates included:
-popular passwords protect many accounts, which is exactly why they
-fall first).
+iterable of ``(surface, probability)`` pairs: the attack engine's
+:class:`~repro.attacks.engine.GuessStream`, a baseline meter's
+``iter_guesses()``, or a corpus head — and a test corpus of accounts
+(one account per entry, duplicates included: popular passwords protect
+many accounts, which is exactly why they fall first).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, Optional, Tuple
 
+from repro import obs
 from repro.datasets.corpus import PasswordCorpus
 
+#: Legacy alias: attacks accept any iterable of ``(guess, probability)``
+#: pairs; the engine's ``GuessStream`` class satisfies it.
 GuessStream = Iterator[Tuple[str, float]]
+
+
+def _run_guessing_session(
+    guesses: Iterable[Tuple[str, float]],
+    accounts: PasswordCorpus,
+    budget: int,
+) -> Tuple[int, int, int]:
+    """The shared attack loop: try distinct guesses up to ``budget``.
+
+    Returns ``(tried, accounts_compromised, unique_recovered)``.
+    Duplicate surfaces in the stream are skipped — a session tries
+    each string once (engine streams are already deduplicated; corpus
+    heads and legacy streams may not be).
+    """
+    compromised = 0
+    recovered = 0
+    seen = set()
+    tried = 0
+    for guess, _ in guesses:
+        if guess in seen:
+            continue
+        seen.add(guess)
+        tried += 1
+        hits = accounts.count(guess)
+        if hits:
+            compromised += hits
+            recovered += 1
+        if tried >= budget:
+            break
+    telemetry = obs.get()
+    if telemetry.enabled:
+        telemetry.incr_many([
+            ("attack.simulate.guesses", tried),
+            ("attack.simulate.compromised", compromised),
+        ])
+    return tried, compromised, recovered
 
 
 @dataclass(frozen=True)
@@ -97,21 +137,9 @@ class OnlineAttack:
         if accounts.total == 0:
             raise ValueError("no accounts to attack")
         budget = self.policy.total_attempts
-        compromised = 0
-        recovered = 0
-        seen = set()
-        tried = 0
-        for guess, _ in guesses:
-            if guess in seen:
-                continue
-            seen.add(guess)
-            tried += 1
-            hits = accounts.count(guess)
-            if hits:
-                compromised += hits
-                recovered += 1
-            if tried >= budget:
-                break
+        tried, compromised, recovered = _run_guessing_session(
+            guesses, accounts, budget
+        )
         return AttackOutcome(
             attack=f"online (lockout {self.policy.attempts_per_window}"
                    f" x {self.policy.windows})",
@@ -193,21 +221,9 @@ class OfflineAttack:
         budget = min(
             self.guess_budget(accounts.total), self.max_stream_guesses
         )
-        compromised = 0
-        recovered = 0
-        seen = set()
-        tried = 0
-        for guess, _ in guesses:
-            if guess in seen:
-                continue
-            seen.add(guess)
-            tried += 1
-            hits = accounts.count(guess)
-            if hits:
-                compromised += hits
-                recovered += 1
-            if tried >= budget:
-                break
+        tried, compromised, recovered = _run_guessing_session(
+            guesses, accounts, budget
+        )
         salt_text = "salted" if self.salted else "unsalted"
         return AttackOutcome(
             attack=f"offline ({self.hash_profile.name}, {salt_text}, "

@@ -12,7 +12,10 @@ Commands cover the full paper workflow:
 * ``scenarios``   — list the Table-XI experiment matrix;
 * ``experiment``  — run one scenario and print its Fig.-13 curves;
 * ``coach``       — suggest stronger variants of a weak password;
-* ``attack``      — simulate Table I's online/offline attackers;
+* ``attack``      — the unified attack engine: ``enumerate`` (guess
+  streams at scale), ``masks`` (compiled hashcat-style masks/rules),
+  ``simulate`` (Table I's online/offline attackers), ``crossover``
+  (online vs mask-extrapolated offline meter comparison);
 * ``profile``     — partial-guessing profile of a corpus file, or
   (with ``--base/--train/--stream``) a telemetry profile of the full
   train-and-score pipeline;
@@ -204,20 +207,124 @@ def build_parser() -> argparse.ArgumentParser:
     coach.add_argument("passwords", nargs="+")
 
     attack = commands.add_parser(
-        "attack", help="simulate Table I's trawling attackers"
+        "attack",
+        help="the unified attack engine: enumerate guesses, compile "
+             "masks, simulate attackers, compare meters at scale",
     )
-    attack.add_argument("--model", required=True,
-                        help="trained meter used as the guess stream")
-    attack.add_argument("--victims", required=True,
-                        help="corpus file of victim accounts")
-    attack.add_argument("--lockout", type=int, default=100,
-                        help="online attempts allowed per account")
-    attack.add_argument("--hash", dest="hash_name", default="sha256",
-                        choices=("plaintext", "md5", "sha256",
-                                 "bcrypt", "scrypt"))
-    attack.add_argument("--hours", type=float, default=24.0)
-    attack.add_argument("--max-guesses", type=int, default=200_000,
-                        help="offline simulation horizon cap")
+    attack_commands = attack.add_subparsers(
+        dest="attack_command", required=True
+    )
+
+    attack_enumerate = attack_commands.add_parser(
+        "enumerate",
+        help="emit a model's descending guess stream (engine-backed)",
+    )
+    attack_enumerate.add_argument(
+        "--model", required=True, help="trained meter file"
+    )
+    attack_enumerate.add_argument("--count", "-n", type=int,
+                                  default=1_000)
+    attack_enumerate.add_argument(
+        "--beam-width", type=int, default=None, metavar="N",
+        help="bound the expansion frontier to the N most probable "
+             "nodes (lossy; dropped mass is tracked)",
+    )
+    attack_enumerate.add_argument(
+        "--beam-floor", type=float, default=0.0, metavar="P",
+        help="prune candidates below probability P (exact above the "
+             "floor)",
+    )
+    attack_enumerate.add_argument(
+        "--stats", action="store_true",
+        help="print enumeration statistics to stderr",
+    )
+
+    attack_masks = attack_commands.add_parser(
+        "masks",
+        help="compile hashcat-style masks and rules from a model",
+    )
+    attack_masks.add_argument(
+        "--model", required=True, help="trained meter file"
+    )
+    attack_masks.add_argument(
+        "--source-guesses", type=int, default=20_000, metavar="N",
+        help="guesses enumerated to feed mask aggregation",
+    )
+    attack_masks.add_argument(
+        "--policy", choices=("efficiency", "mass", "keyspace"),
+        default="efficiency", help="mask ranking policy",
+    )
+    attack_masks.add_argument(
+        "--max-masks", type=int, default=None, metavar="N",
+        help="keep only the N best masks",
+    )
+    attack_masks.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="masks printed to stdout",
+    )
+    attack_masks.add_argument(
+        "--output", "-o",
+        help="save the compiled mask set (JSON envelope)",
+    )
+
+    attack_simulate = attack_commands.add_parser(
+        "simulate", help="simulate Table I's trawling attackers"
+    )
+    attack_simulate.add_argument(
+        "--model", required=True,
+        help="trained meter used as the guess stream",
+    )
+    attack_simulate.add_argument(
+        "--victims", required=True,
+        help="corpus file of victim accounts",
+    )
+    attack_simulate.add_argument(
+        "--lockout", type=int, default=100,
+        help="online attempts allowed per account",
+    )
+    attack_simulate.add_argument(
+        "--hash", dest="hash_name", default="sha256",
+        choices=("plaintext", "md5", "sha256", "bcrypt", "scrypt"),
+    )
+    attack_simulate.add_argument("--hours", type=float, default=24.0)
+    attack_simulate.add_argument(
+        "--max-guesses", type=int, default=200_000,
+        help="offline simulation horizon cap",
+    )
+
+    attack_crossover = attack_commands.add_parser(
+        "crossover",
+        help="online (materialized) vs offline (mask-extrapolated) "
+             "crossover between two meters",
+    )
+    attack_crossover.add_argument(
+        "--model", required=True, help="primary trained meter file"
+    )
+    attack_crossover.add_argument(
+        "--baseline", required=True,
+        help="baseline trained meter file to compare against",
+    )
+    attack_crossover.add_argument(
+        "--victims", required=True,
+        help="corpus file of victim accounts",
+    )
+    attack_crossover.add_argument(
+        "--online-budget", type=int, default=10**4,
+        help="materialized horizon (paper Table I: < 10^4)",
+    )
+    attack_crossover.add_argument(
+        "--offline-budget", type=int, default=10**10,
+        help="mask-extrapolated horizon (> 10^9)",
+    )
+    attack_crossover.add_argument(
+        "--enumerate-limit", type=int, default=None, metavar="N",
+        help="guesses materialized per meter (default: online budget)",
+    )
+    attack_crossover.add_argument(
+        "--policy", choices=("efficiency", "mass", "keyspace"),
+        default="efficiency",
+        help="mask ranking policy for the offline extrapolation",
+    )
 
     profile = commands.add_parser(
         "profile",
@@ -643,24 +750,155 @@ def _cmd_coach(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
+    handlers = {
+        "enumerate": _cmd_attack_enumerate,
+        "masks": _cmd_attack_masks,
+        "simulate": _cmd_attack_simulate,
+        "crossover": _cmd_attack_crossover,
+    }
+    return handlers[args.attack_command](args)
+
+
+def _cmd_attack_enumerate(args: argparse.Namespace) -> int:
+    from repro.attacks import Beam, guess_stream_for
+    meter = load_meter(args.model)
+    beam = None
+    if args.beam_width is not None or args.beam_floor:
+        beam = Beam(width=args.beam_width, floor=args.beam_floor)
+    stream = guess_stream_for(meter, limit=args.count, beam=beam)
+    for rank, (guess, probability) in enumerate(stream, start=1):
+        print(f"{rank}\t{probability:.3e}\t{guess}")
+    stats = stream.stats
+    if args.stats and stats is not None:
+        print(
+            f"pops={stats.pops} pushes={stats.pushes} "
+            f"yielded={stats.yielded} "
+            f"floor_dropped={stats.floor_dropped} "
+            f"width_dropped={stats.width_dropped} "
+            f"dropped_mass={stats.dropped_mass:.3e}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_attack_masks(args: argparse.Namespace) -> int:
+    from repro.attacks import compile_mask_set, compile_rules
+    from repro.attacks import guess_stream_for
+    from repro.persistence import save_mask_set
+    meter = load_meter(args.model)
+    rules = ()
+    frozen_grammar = getattr(meter, "frozen_grammar", None)
+    if frozen_grammar is not None:
+        rules = compile_rules(frozen_grammar())
+    mask_set = compile_mask_set(
+        guess_stream_for(meter, limit=args.source_guesses),
+        policy=args.policy,
+        max_masks=args.max_masks,
+        rules=rules,
+        source=meter.name,
+    )
+    print(format_table(
+        ["rank", "mask", "keyspace", "mass", "efficiency"],
+        [
+            [rank, entry.mask, f"{entry.keyspace:,}",
+             f"{entry.probability:.3e}", f"{entry.efficiency:.3e}"]
+            for rank, entry in enumerate(
+                mask_set.entries[:args.top], start=1
+            )
+        ],
+        title=f"top masks ({mask_set.policy} policy, "
+              f"{mask_set.source_guesses:,} source guesses)",
+    ))
+    if mask_set.rules:
+        print()
+        print(format_table(
+            ["rule", "probability", "description"],
+            [
+                [rule.rule, f"{rule.probability:.3e}", rule.description]
+                for rule in mask_set.rules
+            ],
+            title="substitution rules",
+        ))
+    if args.output:
+        save_mask_set(mask_set, args.output)
+        print(f"\nmask set ({len(mask_set.entries)} masks) "
+              f"-> {args.output}")
+    return 0
+
+
+def _cmd_attack_simulate(args: argparse.Namespace) -> int:
     from repro.attacks import (
         HASH_PROFILES,
         LockoutPolicy,
         OfflineAttack,
         OnlineAttack,
+        guess_stream_for,
     )
     meter = load_meter(args.model)
     victims = load_corpus(args.victims)
     online = OnlineAttack(
         LockoutPolicy(attempts_per_window=args.lockout)
-    ).run(meter.iter_guesses(), victims)
+    ).run(guess_stream_for(meter), victims)
     offline = OfflineAttack(
         HASH_PROFILES[args.hash_name],
         seconds=args.hours * 3600.0,
         max_stream_guesses=args.max_guesses,
-    ).run(meter.iter_guesses(), victims)
+    ).run(guess_stream_for(meter), victims)
     print(online.summary())
     print(offline.summary())
+    return 0
+
+
+def _cmd_attack_crossover(args: argparse.Namespace) -> int:
+    from repro.attacks import crossover_report, guess_stream_for
+    meter = load_meter(args.model)
+    baseline = load_meter(args.baseline)
+    victims = load_corpus(args.victims)
+    limit = args.enumerate_limit
+    if limit is None:
+        limit = args.online_budget
+    report = crossover_report(
+        [
+            (meter.name, guess_stream_for(meter, limit=limit)),
+            (baseline.name, guess_stream_for(baseline, limit=limit)),
+        ],
+        victims,
+        online_budget=args.online_budget,
+        offline_budget=args.offline_budget,
+        policy=args.policy,
+        enumerate_limit=limit,
+    )
+    for label, attribute in (("online", "online"), ("offline", "offline")):
+        grid = [
+            point.guesses for point in getattr(report.curves[0], attribute)
+        ]
+        rows = []
+        for curve in report.curves:
+            points = getattr(curve, attribute)
+            rows.append(
+                [curve.name]
+                + [format_percent(p.cracked_fraction) for p in points]
+            )
+        print(format_table(
+            ["meter"] + [f"{g:,}" for g in grid],
+            rows,
+            title=f"{label} cracked fraction by guess budget",
+        ))
+        print()
+    for label, flip in (
+        ("online", report.online_crossover),
+        ("offline", report.offline_crossover),
+    ):
+        if flip is None:
+            print(f"{label} crossover: none "
+                  f"(one meter leads throughout)")
+        else:
+            guesses, first, second = flip
+            print(
+                f"{label} crossover at {int(guesses):,} guesses: "
+                f"{report.curves[0].name} {format_percent(first)} vs "
+                f"{report.curves[1].name} {format_percent(second)}"
+            )
     return 0
 
 

@@ -194,6 +194,53 @@ class FrozenGrammar:
             probability *= seg_probability
         return probability
 
+    # --- compiled-table access (attack engine) -------------------------
+
+    def structure_table(self) -> Dict[Structure, float]:
+        """The compiled ``structure -> probability`` map, by reference.
+
+        Read-only by contract: the attack engine
+        (:mod:`repro.attacks.engine`) iterates it to seed guess
+        enumeration without re-deriving probabilities from counts.
+        """
+        return self._structures
+
+    def terminal_lengths(self) -> List[int]:
+        """Sorted segment lengths that have a compiled terminal table."""
+        return sorted(self._terminals)
+
+    def terminal_table(
+        self, length: int
+    ) -> Optional[Tuple[Dict[str, int], "array[float]", Tuple[_LeetRun, ...]]]:
+        """One length's compiled ``(intern index, probabilities, leet runs)``.
+
+        The flat layout documented in the module docstring, exposed so
+        the attack engine enumerates interned terminals directly
+        instead of walking count tables.  ``None`` when no terminal of
+        that length was observed.
+        """
+        return self._terminals.get(length)
+
+    @property
+    def capitalization_pair(self) -> _Pair:
+        """``(P(No), P(Yes))`` of the capitalization rule."""
+        return self._capitalization
+
+    @property
+    def reverse_pair(self) -> _Pair:
+        """``(P(No), P(Yes))`` of the reverse rule (sentinel baked in)."""
+        return self._reverse
+
+    @property
+    def allcaps_pair(self) -> _Pair:
+        """``(P(No), P(Yes))`` of the all-caps rule (sentinel baked in)."""
+        return self._allcaps
+
+    @property
+    def leet_pairs(self) -> Tuple[_Pair, ...]:
+        """Six ``(P(No), P(Yes))`` pairs, indexed by leet rule number."""
+        return self._leet
+
     # --- introspection -------------------------------------------------
 
     @property

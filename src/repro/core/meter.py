@@ -21,7 +21,16 @@ import random
 import warnings
 from array import array
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro import obs
 from repro.obs.core import now as _now
@@ -54,6 +63,9 @@ from repro.metrics.enumeration import (
     descending_products,
     merge_weighted_descending,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.attacks.engine import AttackEngine
 
 
 @dataclass(frozen=True)
@@ -242,6 +254,10 @@ class FuzzyPSM(ProbabilisticMeter):
         # Frozen scoring snapshot, built lazily by :meth:`frozen_grammar`
         # and invalidated by the grammar's epoch counter.
         self._frozen: Optional[FrozenGrammar] = None
+        # Compiled attack engine (guess enumeration / sampling), built
+        # lazily by :meth:`attack_engine` with the same epoch-keyed
+        # invalidation as the frozen snapshot it sits on.
+        self._attack_engine: Optional["AttackEngine"] = None
 
     # --- construction -------------------------------------------------
 
@@ -337,6 +353,28 @@ class FuzzyPSM(ProbabilisticMeter):
             if telemetry.enabled:
                 telemetry.incr("meter.frozen.builds")
         return frozen
+
+    def attack_engine(self) -> "AttackEngine":
+        """The compiled attack engine, current as of this call.
+
+        Same lifecycle as :meth:`frozen_grammar`: built lazily, cached,
+        and rebuilt when the grammar's epoch moves (update phase).  The
+        engine drives :meth:`iter_guesses`, beam-bounded enumeration,
+        fast Monte-Carlo sampling and mask compilation — see
+        :mod:`repro.attacks.engine`.
+        """
+        # Local import: repro.attacks sits above the core layer.
+        from repro.attacks.engine import AttackEngine
+
+        engine = self._attack_engine
+        if engine is None or not engine.is_current():
+            telemetry = obs.get()
+            with telemetry.timer("attack.engine.build.seconds"):
+                engine = AttackEngine(self)
+            self._attack_engine = engine
+            if telemetry.enabled:
+                telemetry.incr("attack.engine.builds")
+        return engine
 
     # --- measuring -------------------------------------------------------
 
@@ -676,21 +714,41 @@ class FuzzyPSM(ProbabilisticMeter):
         grammars; if ``max_attempts`` are exhausted the last surface is
         returned with its canonical (measured) probability so the pair
         stays self-consistent.
+
+        Draws run on the attack engine's
+        :class:`~repro.attacks.engine.FrozenSampler` — cumulative
+        tables + bisect instead of the training tables' linear scans —
+        and accepted probabilities come from the frozen kernel, which
+        is bit-identical to the dict path.
         """
-        surface = ""
-        for _ in range(max_attempts):
-            derivation, probability = self._grammar.sample_derivation(rng)
-            surface = derivation.surface()
-            if self.parse(surface).to_derivation() == derivation:
-                return surface, probability
-        return surface, self.probability(surface)
+        return self.attack_engine().sample(rng, max_attempts=max_attempts)
 
     def iter_guesses(self, limit: Optional[int] = None
                      ) -> Iterator[Tuple[str, float]]:
         """Guesses in decreasing probability order (deduplicated).
 
-        Lazily merges, over all learned base structures, the product of
-        per-slot variant streams (terminal x capitalization x leet).
+        Served by the compiled attack engine
+        (:meth:`attack_engine`), which enumerates the grammar's product
+        lattice over the frozen flat tables with one global heap —
+        probabilities are bit-identical to the scoring kernel.  Unlike
+        the legacy path (kept as :meth:`_iter_guesses_reference` for
+        differential tests and benchmarks), the stream contains only
+        guesses with probability > 0: zero-probability variants are
+        unreachable under the modelled attacker.
+        """
+        return iter(self.attack_engine().guesses(limit=limit))
+
+    def _iter_guesses_reference(self, limit: Optional[int] = None
+                                ) -> Iterator[Tuple[str, float]]:
+        """The pre-engine per-guess enumeration (reference semantics).
+
+        Merges, over all learned base structures, the product of
+        per-slot variant streams (terminal x capitalization x leet),
+        walking the training-side count tables.  Kept as the
+        differential oracle for the engine (same guesses, same order up
+        to ties, probabilities equal within float re-association) and
+        as the baseline of ``benchmarks/test_timing_attack_engine.py``.
+        Appends zero-probability variants the engine omits.
         """
         slot_cache: Dict[int, LazyDescendingList[str]] = {}
 

@@ -15,14 +15,19 @@ The pipeline mirrors Sec. V-C/V-D:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import (
+    TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple,
+)
+
+if TYPE_CHECKING:  # runtime import stays local to run_crossover
+    from repro.attacks.masks import CrossoverReport
 
 from repro import obs
 from repro.obs.report import build_report
 from repro.datasets.corpus import PasswordCorpus
 from repro.datasets.synthetic import SyntheticEcosystem
-from repro.experiments.scenarios import Scenario
+from repro.experiments.scenarios import CROSSOVER_METERS, Scenario
 from repro.meters import registry
 from repro.meters.base import Meter
 from repro.meters.ideal import IdealMeter
@@ -257,6 +262,44 @@ def run_scenario(scenario: Scenario,
                 telemetry.snapshot()
             ),
         )
+
+
+def run_crossover(scenario: Scenario,
+                  ecosystem: Optional[SyntheticEcosystem] = None,
+                  config: Optional[ExperimentConfig] = None,
+                  meters: Sequence[str] = CROSSOVER_METERS,
+                  online_budget: int = 10**4,
+                  offline_budget: int = 10**10,
+                  enumerate_limit: Optional[int] = None) -> "CrossoverReport":
+    """Online/offline crossover curves for a scenario's meter pair.
+
+    Prepares the scenario corpora exactly like :func:`run_scenario`,
+    trains the requested subset of the meter suite, and compares their
+    guess streams on the testing split: materialized cracking curves
+    up to ``online_budget`` and mask-extrapolated coverage out to
+    ``offline_budget``.  Returns the
+    :class:`repro.attacks.masks.CrossoverReport`.
+    """
+    from repro.attacks import crossover_report, guess_stream_for
+    config = replace(config or ExperimentConfig(), meters=tuple(meters))
+    ecosystem = ecosystem or SyntheticEcosystem(seed=config.seed)
+    base, training, testing = prepare_scenario_data(
+        scenario, ecosystem, config
+    )
+    trained = build_meters(base, training, config)
+    limit = enumerate_limit if enumerate_limit is not None else (
+        online_budget
+    )
+    return crossover_report(
+        [
+            (meter.name, guess_stream_for(meter, limit=limit))
+            for meter in trained
+        ],
+        testing,
+        online_budget=online_budget,
+        offline_budget=offline_budget,
+        enumerate_limit=limit,
+    )
 
 
 def _run_scenario_stages(

@@ -101,6 +101,12 @@ ALL_SCENARIOS: Tuple[Scenario, ...] = (
     IDEAL_SCENARIOS + REAL_SCENARIOS + CROSS_LANGUAGE_SCENARIOS
 )
 
+#: The meter pair compared by the crossover experiment
+#: (:func:`repro.experiments.runner.run_crossover`): fuzzyPSM against
+#: the classic PCFG attacker, at Table I's online (< 10^4) and offline
+#: (> 10^9) budgets.
+CROSSOVER_METERS: Tuple[str, str] = ("fuzzyPSM", "PCFG")
+
 _BY_NAME: Dict[str, Scenario] = {s.name: s for s in ALL_SCENARIOS}
 
 

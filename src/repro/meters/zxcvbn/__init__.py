@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.meters.base import Meter, entropy_to_probability
+from repro.meters.base import (
+    Meter,
+    entropy_to_probability,
+    probability_to_entropy,
+)
 from repro.meters.registry import Capability, register_meter
 from repro.meters.zxcvbn.matching import MatchCollector, Match
 from repro.meters.zxcvbn.scoring import (
@@ -91,18 +95,47 @@ class ZxcvbnMeter(Meter):
         Scoring streams repeat passwords heavily (a leaked corpus is a
         frequency distribution) and ``probability`` is a pure function
         of the password, so a per-batch memo is bit-identical to the
-        base-class loop while skipping the repeated matcher work.
-        ``entropy_many`` inherits the base derivation and picks the
-        same memoised path up automatically.
+        base-class loop while skipping the repeated matcher work.  The
+        remainder of the batch path is vectorised too: the matcher and
+        dynamic program run through bound locals instead of repeated
+        attribute/method dispatch per entry.
         """
         memo: Dict[str, float] = {}
+        lookup = memo.get
+        collect = self._collector.all_matches
         out: List[float] = []
+        append = out.append
         for password in passwords:
-            value = memo.get(password)
+            value = lookup(password)
             if value is None:
-                value = self.probability(password)
+                if password:
+                    entropy = minimum_entropy_match_sequence(
+                        password, collect(password)
+                    ).entropy
+                else:
+                    entropy = 0.0
+                value = entropy_to_probability(entropy)
                 memo[password] = value
-            out.append(value)
+            append(value)
+        return out
+
+    def entropy_many(self, passwords: Iterable[str]) -> List[float]:
+        """Batch :meth:`entropy` with the same distinct-password memo.
+
+        Bit-identical to the base-class derivation (which round-trips
+        every score through ``probability_many``): the memoised value
+        is the probability, converted back exactly like the base loop.
+        """
+        memo: Dict[str, float] = {}
+        lookup = memo.get
+        out: List[float] = []
+        append = out.append
+        for password in passwords:
+            value = lookup(password)
+            if value is None:
+                value = probability_to_entropy(self.probability(password))
+                memo[password] = value
+            append(value)
         return out
 
     def report(self, password: str) -> StrengthReport:

@@ -33,8 +33,14 @@ def cracking_curve(guesses: Iterator[Tuple[str, float]],
                    checkpoints: Sequence[int]) -> List[CrackPoint]:
     """Fraction of test entries (with multiplicity) cracked per horizon.
 
-    Duplicate guesses in the stream count once, as in a real session.
-    If the stream ends early, later checkpoints repeat the final value.
+    ``guesses`` is any descending guess stream — the attack engine's
+    :class:`~repro.attacks.engine.GuessStream` (use a
+    :class:`~repro.attacks.engine.Beam` for deep horizons), a baseline
+    meter's ``iter_guesses()``, or a corpus head.  Duplicate guesses in
+    the stream count once, as in a real session.  If the stream ends
+    early, later checkpoints repeat the final value.  For horizons
+    beyond what enumeration can materialize, extend the curve with
+    :meth:`repro.attacks.masks.MaskSet.coverage_curve`.
     """
     if not checkpoints:
         raise ValueError("need at least one checkpoint")

@@ -89,3 +89,42 @@ def curve_summary(points: Sequence[CurvePoint]) -> Tuple[float, float]:
         raise ValueError("empty curve")
     mean = sum(p.value for p in points) / len(points)
     return mean, points[-1].value
+
+
+def crossover_point(
+    curve_a: Sequence[Tuple[float, float]],
+    curve_b: Sequence[Tuple[float, float]],
+) -> Optional[Tuple[float, float, float]]:
+    """First grid point where two curves' ordering flips.
+
+    Both curves are ``(x, value)`` sequences over the *same* x grid
+    (e.g. two meters' cracking curves over shared guess checkpoints).
+    The initial leader is whichever curve is ahead at the first grid
+    point where they differ; the crossover is the first later point
+    where the other curve is ahead, returned as ``(x, value_a,
+    value_b)``.  ``None`` when the initial ordering holds throughout
+    (or the curves never separate).
+
+    >>> a = [(10, 0.1), (100, 0.3), (1000, 0.5)]
+    >>> b = [(10, 0.2), (100, 0.3), (1000, 0.4)]
+    >>> crossover_point(a, b)
+    (1000, 0.5, 0.4)
+    >>> crossover_point(b, a)
+    (1000, 0.4, 0.5)
+    >>> crossover_point(a, a) is None
+    True
+    """
+    if len(curve_a) != len(curve_b):
+        raise ValueError("curves must share their checkpoint grid")
+    leader = 0
+    for (x_a, value_a), (x_b, value_b) in zip(curve_a, curve_b):
+        if x_a != x_b:
+            raise ValueError("curves must share their checkpoint grid")
+        sign = (value_a > value_b) - (value_a < value_b)
+        if sign == 0:
+            continue
+        if leader == 0:
+            leader = sign
+        elif sign != leader:
+            return (x_a, value_a, value_b)
+    return None

@@ -50,15 +50,33 @@ class LazyDescendingList(Generic[T]):
     Items are pulled from the underlying iterator on demand and cached,
     so several consumers (e.g. the slot of length 8 appearing in many
     base structures) can share one enumeration.
+
+    The buffer grows with the deepest index requested; long sessions
+    can bound it with ``max_buffer`` — reads past the bound behave as
+    if the stream ended there (counted by ``enum.lazy.truncated``).
     """
 
-    def __init__(self, stream: Iterator[Tuple[T, float]]) -> None:
+    def __init__(
+        self,
+        stream: Iterator[Tuple[T, float]],
+        max_buffer: Optional[int] = None,
+    ) -> None:
+        if max_buffer is not None and max_buffer < 1:
+            raise ValueError("max_buffer must be >= 1")
         self._stream = stream
         self._buffer: List[Tuple[T, float]] = []
         self._exhausted = False
+        self._max_buffer = max_buffer
+        self._truncated = False
 
     def get(self, index: int) -> Optional[Tuple[T, float]]:
         """The ``index``-th item, or ``None`` when the stream is shorter."""
+        maximum = self._max_buffer
+        if maximum is not None and index >= maximum:
+            if not self._truncated:
+                self._truncated = True
+                obs.get().incr("enum.lazy.truncated")
+            return None
         while len(self._buffer) <= index and not self._exhausted:
             item = next(self._stream, None)
             if item is None:
@@ -136,10 +154,10 @@ def descending_products(
     heap: List[Tuple[float, Tuple[int, ...]]] = [
         (-probability_of(start), start)
     ]
-    seen = {start}
     # The backend is pinned at generator start: enumeration sweeps run
     # entirely inside one telemetry session (or none at all).
     telemetry = obs.get()
+    count = len(factors)
     while heap:
         if telemetry.enabled:
             telemetry.incr("enum.products.pops")
@@ -151,7 +169,19 @@ def descending_products(
         assert all(item is not None for item in popped)
         values = tuple(item[0] for item in popped if item is not None)
         yield values, -negative_probability
-        for position in range(len(factors)):
+        # Canonical-parent successor rule: ``v + e_j`` is generated only
+        # by the parent whose coordinates after ``j`` are all zero, i.e.
+        # only positions at or after the rightmost non-zero coordinate
+        # advance.  Every lattice cell still enters the heap exactly
+        # once — but from a single parent, so the per-guess seen-set
+        # (whose memory grew with guesses emitted) is gone, and pops
+        # push at most ``k - rightmost`` successors instead of ``k``.
+        rightmost = 0
+        for position in range(count - 1, -1, -1):
+            if indices[position]:
+                rightmost = position
+                break
+        for position in range(rightmost, count):
             successor_index = indices[position] + 1
             if _factor_item(factors[position], successor_index) is None:
                 continue
@@ -160,11 +190,9 @@ def descending_products(
                 + (successor_index,)
                 + indices[position + 1:]
             )
-            if successor not in seen:
-                seen.add(successor)
-                heapq.heappush(
-                    heap, (-probability_of(successor), successor)
-                )
+            heapq.heappush(
+                heap, (-probability_of(successor), successor)
+            )
 
 
 def merge_weighted_descending(
@@ -211,17 +239,32 @@ def merge_weighted_descending(
 def deduplicate_guesses(
     guesses: Iterator[Tuple[str, float]],
     key: Callable[[str], str] = lambda s: s,
+    max_seen: Optional[int] = None,
 ) -> Iterator[Tuple[str, float]]:
     """Drop repeated surface strings, keeping the first (most probable).
 
     Distinct derivations occasionally produce the same password; a
     cracking session tries each string once, so enumeration-based guess
     numbers must deduplicate.
+
+    The seen-set otherwise grows with every distinct guess; 10^7-scale
+    sessions can bound it with ``max_seen``.  Once full, *known*
+    duplicates are still dropped but new markers are no longer
+    recorded, so repeats of guesses first seen after the cap can leak
+    through — best-effort dedup, flagged once via
+    ``enum.dedup.seen_capped``.
     """
+    if max_seen is not None and max_seen < 1:
+        raise ValueError("max_seen must be >= 1")
     seen: Set[str] = set()
+    capped = False
     for guess, probability in guesses:
         marker = key(guess)
         if marker in seen:
             continue
-        seen.add(marker)
+        if max_seen is None or len(seen) < max_seen:
+            seen.add(marker)
+        elif not capped:
+            capped = True
+            obs.get().incr("enum.dedup.seen_capped")
         yield guess, probability

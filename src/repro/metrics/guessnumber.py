@@ -25,7 +25,11 @@ class MonteCarloEstimator:
 
     Args:
         sampler: any object with ``sample(rng) -> (password, probability)``
-            (e.g. :class:`repro.core.meter.FuzzyPSM`).
+            — a meter like :class:`repro.core.meter.FuzzyPSM` (whose
+            ``sample`` runs on the attack engine's compiled
+            :class:`~repro.attacks.engine.FrozenSampler`), an
+            :class:`~repro.attacks.engine.AttackEngine` directly, or a
+            baseline meter.
         sample_size: number of model samples to draw.
         rng: source of randomness (pass a seeded ``random.Random`` for
             reproducible estimates).

@@ -94,6 +94,7 @@ def registered_namespaces() -> FrozenSet[str]:
 # so the catalogue is readable in one place.  Keep the list sorted;
 # add a line here (or a register_namespace call next to your probes)
 # before emitting under a new head segment.
+register_namespace("attack")
 register_namespace("enum")
 register_namespace("experiment")
 register_namespace("lint")

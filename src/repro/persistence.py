@@ -45,7 +45,10 @@ import json
 import mmap
 import sys
 from array import array
-from typing import Any, Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+
+if TYPE_CHECKING:  # runtime import stays local (attacks imports this module)
+    from repro.attacks.masks import MaskSet
 
 from repro.meters import registry
 from repro.meters.base import Meter
@@ -410,6 +413,61 @@ def load_telemetry_report(path: str) -> dict:
     if not isinstance(report, dict):
         raise ValueError("telemetry report body must be an object")
     return report
+
+
+# --- compiled mask sets -----------------------------------------------------
+
+#: On-disk format version for compiled mask sets (``repro attack masks``
+#: persists these so crossover extrapolation can run without re-training).
+MASKSET_FORMAT_VERSION = 1
+
+
+def save_mask_set(mask_set: "MaskSet", path: str) -> None:
+    """Write a compiled :class:`repro.attacks.masks.MaskSet` to JSON.
+
+    Same envelope discipline as trained-meter and telemetry files: a
+    ``kind`` tag plus a format version, with sorted keys so identical
+    mask sets produce byte-identical files.
+    """
+    document = {
+        "format_version": MASKSET_FORMAT_VERSION,
+        "kind": "maskset",
+        "maskset": mask_set.to_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+        handle.write("\n")
+
+
+def load_mask_set(path: str) -> "MaskSet":
+    """Read back a mask set written by :func:`save_mask_set`."""
+    from repro.attacks.masks import MaskSet
+
+    with open(path, encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{path} is not a valid mask-set file: {error}"
+            ) from error
+    if not isinstance(document, dict):
+        raise ValueError(
+            f"{path} is not a valid mask-set file: expected a JSON object"
+        )
+    version = document.get("format_version")
+    if version != MASKSET_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported mask-set format version {version!r} "
+            f"(this build reads version {MASKSET_FORMAT_VERSION})"
+        )
+    if document.get("kind") != "maskset":
+        raise ValueError(
+            f"not a mask-set file: kind={document.get('kind')!r}"
+        )
+    body = document.get("maskset")
+    if not isinstance(body, dict):
+        raise ValueError("mask-set body must be an object")
+    return MaskSet.from_dict(body)
 
 
 def load_meter(path: str) -> Meter:

@@ -769,6 +769,38 @@ class TestTelemetryNameHygiene:
         )
         assert violations == []
 
+    def test_attack_namespace_is_registered_at_runtime(self):
+        # The attack engine's probes (attack.enum.*, attack.beam.*,
+        # attack.masks.*, attack.sample.*, attack.simulate.*) ride on
+        # the central registration in repro.obs.
+        from repro import obs
+        assert "attack" in obs.registered_namespaces()
+
+    def test_incr_many_tuples_are_judged(self, tmp_path):
+        # The engine flushes counters in incr_many batches; each
+        # tuple's name literal is still under FPM014's jurisdiction.
+        violations = lint_project(
+            tmp_path,
+            {
+                "probes.py": """
+                    from repro import obs
+
+                    obs.register_namespace("attack")
+
+
+                    def flush(telemetry, stats):
+                        telemetry.incr_many([
+                            ("attack.enum.yields", stats),
+                            ("attack.beam.floor_dropped", stats),
+                            ("rogue.counter", stats),
+                        ])
+                """
+            },
+            select=["FPM014"],
+        )
+        assert len(violations) == 1
+        assert "rogue" in violations[0].message
+
 
 METER_FIXTURE = """
     from repro.meters.registry import Capability, register_meter

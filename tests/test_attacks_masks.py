@@ -1,0 +1,368 @@
+"""Tests for mask/rule compilation and crossover analysis
+(repro.attacks.masks).
+
+The offline half of the attack engine never materializes guesses: a
+compiled :class:`MaskSet` answers budget queries analytically from
+cumulative keyspace.  These tests pin the arithmetic with hand-computed
+expectations (keyspaces are exact products of class sizes) and check
+the crossover report end to end on synthetic streams where the
+online/offline orderings are known by construction.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.attacks.masks import (
+    CHARSET_SIZES,
+    MASK_POLICIES,
+    CrossoverReport,
+    MaskEntry,
+    MaskSet,
+    RuleEntry,
+    compile_mask_set,
+    compile_rules,
+    crossover_report,
+    decade_checkpoints,
+    mask_keyspace,
+    mask_of,
+)
+from repro.core import FuzzyPSM
+from repro.core.meter import FuzzyPSMConfig
+from repro.datasets.corpus import PasswordCorpus
+from repro.persistence import load_mask_set, save_mask_set
+
+BASE = ["password", "dragon", "monkey", "love", "abc", "sunshine"]
+TRAINING = [
+    "password1", "Password", "dragon", "monkey12", "love123",
+    "p@ssword", "abc123", "drowssap", "PASSWORD", "sunshine",
+] * 2
+
+
+class TestMaskOf:
+    def test_classifies_all_four_classes(self):
+        assert mask_of("Pass12!") == "?u?l?l?l?d?d?s"
+        assert mask_of("abc") == "?l?l?l"
+        assert mask_of("123") == "?d?d?d"
+        assert mask_of("@ !") == "?s?s?s"
+
+    def test_empty_password_has_empty_mask(self):
+        assert mask_of("") == ""
+
+
+class TestMaskKeyspace:
+    def test_products_of_class_sizes(self):
+        assert mask_keyspace("?l?d") == 260
+        assert mask_keyspace("?l?l?l") == 26**3
+        assert mask_keyspace("?u?s") == 26 * 33
+        assert mask_keyspace("") == 1
+
+    def test_class_sizes_cover_printable_ascii(self):
+        assert sum(CHARSET_SIZES.values()) == 95
+
+    def test_malformed_masks_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            mask_keyspace("?l?")
+        with pytest.raises(ValueError, match="unknown mask token"):
+            mask_keyspace("?l?x")
+
+
+class TestMaskEntry:
+    def test_efficiency_is_mass_per_candidate(self):
+        entry = MaskEntry("?d?d", 100, 0.25, 7)
+        assert entry.efficiency == 0.0025
+
+
+class TestCompileMaskSet:
+    GUESSES = [
+        ("abc", 0.4),      # ?l?l?l
+        ("xyz", 0.2),      # ?l?l?l (accumulates)
+        ("12", 0.3),       # ?d?d
+        ("", 0.5),         # skipped: empty surface
+        ("A!", 0.1),       # ?u?s
+    ]
+
+    def test_aggregates_mass_and_observed(self):
+        mask_set = compile_mask_set(self.GUESSES, policy="mass")
+        by_mask = {entry.mask: entry for entry in mask_set.entries}
+        assert set(by_mask) == {"?l?l?l", "?d?d", "?u?s"}
+        letters = by_mask["?l?l?l"]
+        assert letters.probability == pytest.approx(0.6)
+        assert letters.observed == 2
+        assert letters.keyspace == 26**3
+        assert mask_set.source_guesses == 4  # empty surface not counted
+
+    def test_policy_orderings(self):
+        by_policy = {
+            policy: [
+                entry.mask
+                for entry in compile_mask_set(
+                    self.GUESSES, policy=policy
+                ).entries
+            ]
+            for policy in MASK_POLICIES
+        }
+        # mass: 0.6 > 0.3 > 0.1
+        assert by_policy["mass"] == ["?l?l?l", "?d?d", "?u?s"]
+        # efficiency: 0.3/100 > 0.1/858 > 0.6/17576
+        assert by_policy["efficiency"] == ["?d?d", "?u?s", "?l?l?l"]
+        # keyspace: 100 < 858 < 17576
+        assert by_policy["keyspace"] == ["?d?d", "?u?s", "?l?l?l"]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            compile_mask_set(self.GUESSES, policy="entropy")
+        with pytest.raises(ValueError, match="unknown policy"):
+            MaskSet([], policy="entropy", source_guesses=0)
+
+    def test_max_masks_truncates_and_counts(self):
+        with obs.session() as telemetry:
+            mask_set = compile_mask_set(
+                self.GUESSES, policy="mass", max_masks=1
+            )
+            counters = telemetry.snapshot()["counters"]
+        assert len(mask_set.entries) == 1
+        assert mask_set.entries[0].mask == "?l?l?l"
+        assert counters["attack.masks.compiled"] == 1
+        assert counters["attack.masks.source_guesses"] == 4
+        assert counters["attack.masks.truncated"] == 2
+
+
+class TestMaskSetQueries:
+    def build(self):
+        return MaskSet(
+            [
+                MaskEntry("?d", 10, 0.5, 5),
+                MaskEntry("?l?l", 676, 0.3, 3),
+            ],
+            policy="mass",
+            source_guesses=8,
+        )
+
+    def test_total_keyspace(self):
+        assert self.build().total_keyspace == 686
+        assert MaskSet([], "mass", 0).total_keyspace == 0
+
+    def test_guesses_to_mask_index(self):
+        masks = self.build()
+        assert masks.guesses_to_mask_index(0) == 0
+        assert masks.guesses_to_mask_index(9) == 0
+        assert masks.guesses_to_mask_index(10) == 1
+        assert masks.guesses_to_mask_index(685) == 1
+        assert masks.guesses_to_mask_index(686) == 2
+        assert masks.guesses_to_mask_index(10**10) == 2
+        with pytest.raises(ValueError):
+            masks.guesses_to_mask_index(-1)
+
+    def test_executed_fraction(self):
+        masks = self.build()
+        assert masks.executed_fraction("?d", 5) == 0.5
+        assert masks.executed_fraction("?d", 10**6) == 1.0
+        # second mask starts after the first's 10 candidates
+        assert masks.executed_fraction("?l?l", 10) == 0.0
+        assert masks.executed_fraction("?l?l", 348) == pytest.approx(
+            0.5
+        )
+        # not in the set: the modelled attacker never reaches it
+        assert masks.executed_fraction("?s?s", 10**6) == 0.0
+
+    def test_coverage_is_expected_cracked_fraction(self):
+        masks = self.build()
+        victims = PasswordCorpus({"7": 3, "ab": 1})  # ?d x3, ?l?l x1
+        # At 5 guesses: ?d half done, ?l?l untouched.
+        assert masks.coverage(victims, 5) == pytest.approx(
+            (3 * 0.5) / 4
+        )
+        # Past the total keyspace everything in-set is fully covered.
+        assert masks.coverage(victims, 10**6) == 1.0
+
+    def test_coverage_rejects_empty_corpus(self):
+        with pytest.raises(ValueError, match="empty victim corpus"):
+            self.build().coverage(PasswordCorpus([]), 10)
+
+    def test_coverage_curve_sorts_checkpoints(self):
+        masks = self.build()
+        victims = PasswordCorpus({"7": 1})
+        curve = masks.coverage_curve(victims, [686, 5, 10])
+        assert [point.guesses for point in curve] == [5, 10, 686]
+        assert [point.cracked_fraction for point in curve] == [
+            0.5, 1.0, 1.0,
+        ]
+
+
+class TestPersistence:
+    def build(self):
+        return MaskSet(
+            [MaskEntry("?l?d", 260, 0.125, 4)],
+            policy="keyspace",
+            source_guesses=9,
+            rules=(RuleEntry("sa@", "substitute a -> @", 0.2),),
+            source="fuzzyPSM",
+        )
+
+    def test_dict_round_trip(self):
+        original = self.build()
+        restored = MaskSet.from_dict(original.to_dict())
+        assert restored.entries == original.entries
+        assert restored.rules == original.rules
+        assert restored.policy == "keyspace"
+        assert restored.source == "fuzzyPSM"
+        assert restored.source_guesses == 9
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "masks.json")
+        original = self.build()
+        save_mask_set(original, path)
+        restored = load_mask_set(path)
+        assert restored.entries == original.entries
+        assert restored.rules == original.rules
+        assert restored.total_keyspace == original.total_keyspace
+
+    def test_envelope_validation(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all{")
+        with pytest.raises(ValueError, match="not a valid mask-set"):
+            load_mask_set(str(bad))
+
+        versioned = tmp_path / "version.json"
+        versioned.write_text(json.dumps(
+            {"format_version": 99, "kind": "maskset", "maskset": {}}
+        ))
+        with pytest.raises(ValueError, match="format version"):
+            load_mask_set(str(versioned))
+
+        kinded = tmp_path / "kind.json"
+        kinded.write_text(json.dumps(
+            {"format_version": 1, "kind": "meter", "maskset": {}}
+        ))
+        with pytest.raises(ValueError, match="not a mask-set file"):
+            load_mask_set(str(kinded))
+
+        bodyless = tmp_path / "body.json"
+        bodyless.write_text(json.dumps(
+            {"format_version": 1, "kind": "maskset", "maskset": []}
+        ))
+        with pytest.raises(ValueError, match="must be an object"):
+            load_mask_set(str(bodyless))
+
+
+class TestCompileRules:
+    def test_rules_from_trained_grammar(self):
+        meter = FuzzyPSM.train(
+            base_dictionary=BASE,
+            training=TRAINING,
+            config=FuzzyPSMConfig(
+                allow_reverse=True, allow_allcaps=True
+            ),
+        )
+        rules = compile_rules(meter.frozen_grammar())
+        lines = [rule.rule for rule in rules]
+        assert ":" in lines          # pass-through is always present
+        assert "c" in lines          # "Password" observed
+        assert "u" in lines          # "PASSWORD" observed
+        assert "r" in lines          # "drowssap" observed
+        assert "sa@" in lines        # "p@ssword" observed
+        probabilities = [rule.probability for rule in rules]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert all(probability > 0.0 for probability in probabilities)
+        assert all(rule.description for rule in rules)
+
+    def test_unobserved_transformations_dropped(self):
+        meter = FuzzyPSM.train(
+            base_dictionary=["password"], training=["password1"]
+        )
+        lines = [
+            rule.rule
+            for rule in compile_rules(meter.frozen_grammar())
+        ]
+        assert lines == [":"]
+
+
+class TestDecadeCheckpoints:
+    def test_powers_of_ten_inclusive(self):
+        assert decade_checkpoints(10**4) == [1, 10, 100, 1000, 10000]
+        assert decade_checkpoints(5000, start=10) == [
+            10, 100, 1000, 5000,
+        ]
+        assert decade_checkpoints(1) == [1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decade_checkpoints(5, start=10)
+        with pytest.raises(ValueError):
+            decade_checkpoints(10, start=0)
+
+
+class TestCrossoverReport:
+    def test_needs_two_meters_and_wider_offline_budget(self):
+        victims = PasswordCorpus({"aa": 1})
+        with pytest.raises(ValueError, match="at least two"):
+            crossover_report([("solo", [("aa", 1.0)])], victims)
+        with pytest.raises(ValueError, match="offline budget"):
+            crossover_report(
+                [("a", [("aa", 1.0)]), ("b", [("bb", 1.0)])],
+                victims,
+                online_budget=100,
+                offline_budget=100,
+            )
+
+    def test_offline_crossover_by_construction(self):
+        """Meter A wins online; meter B's masks win offline.
+
+        A materializes the victim ``aa`` immediately but never emits a
+        symbol mask, capping its offline coverage at 0.5.  B cracks
+        nothing within the online horizon, yet its two masks cover both
+        victim masks, so past their combined keyspace (~23k) it covers
+        everything — the ordering flips on the offline grid.
+        """
+        victims = PasswordCorpus({"aa": 5, "zz!": 5})
+        report = crossover_report(
+            [
+                ("alpha", [("aa", 0.5)]),
+                ("bravo", [("cc", 0.2), ("yy#", 0.3)]),
+            ],
+            victims,
+            online_budget=10,
+            offline_budget=10**6,
+            policy="mass",
+        )
+        assert isinstance(report, CrossoverReport)
+        alpha, bravo = report.curves
+        assert alpha.name == "alpha" and bravo.name == "bravo"
+        assert alpha.mask_set.source == "alpha"
+
+        # Online: A cracks aa at guess one, B cracks nothing.
+        assert [p.guesses for p in alpha.online] == [1, 10]
+        assert alpha.online_fraction() == 0.5
+        assert bravo.online_fraction() == 0.0
+        assert report.online_crossover is None
+
+        # Offline: B overtakes once both its masks are exhausted.
+        assert [p.guesses for p in alpha.offline] == [
+            10, 100, 1000, 10**4, 10**5, 10**6,
+        ]
+        assert alpha.offline_fraction() == 0.5
+        assert bravo.offline_fraction() == 1.0
+        assert report.offline_crossover is not None
+        guesses, fraction_a, fraction_b = report.offline_crossover
+        assert guesses == 10**5
+        assert fraction_a == 0.5
+        assert fraction_b == 1.0
+
+    def test_enumerate_limit_bounds_materialization(self):
+        victims = PasswordCorpus({"aa": 1, "bb": 1})
+
+        def endless():
+            while True:
+                yield ("aa", 0.1)
+
+        report = crossover_report(
+            [("a", endless()), ("b", [("bb", 0.2)])],
+            victims,
+            online_budget=10,
+            offline_budget=1000,
+            enumerate_limit=5,
+        )
+        # The endless stream was cut at max(limit, online_budget).
+        assert report.curves[0].mask_set.source_guesses == 10

@@ -212,19 +212,69 @@ class TestCoachAttackProfile:
         assert code == 0
         assert "original" in out or "already" in out
 
-    def test_attack(self, capsys, trained_model, tmp_path):
+    def test_attack_simulate(self, capsys, trained_model, tmp_path):
         model, _ = trained_model
         victims = str(tmp_path / "victims.txt")
         run_cli(capsys, "generate", "yahoo", "--total", "1000",
                 "--seed", "3", "--output", victims)
         code, out, _ = run_cli(
-            capsys, "attack", "--model", model,
+            capsys, "attack", "simulate", "--model", model,
             "--victims", victims, "--lockout", "50",
             "--hash", "bcrypt", "--max-guesses", "20000",
         )
         assert code == 0
         assert "online" in out
         assert "offline (bcrypt" in out
+
+    def test_attack_enumerate(self, capsys, trained_model):
+        model, _ = trained_model
+        code, out, err = run_cli(
+            capsys, "attack", "enumerate", "--model", model,
+            "-n", "25", "--beam-width", "500", "--stats",
+        )
+        assert code == 0
+        lines = [line for line in out.splitlines() if line]
+        assert len(lines) == 25
+        probabilities = [float(line.split("\t")[1]) for line in lines]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert "pops=" in err and "dropped_mass=" in err
+
+    def test_attack_masks(self, capsys, trained_model, tmp_path):
+        model, _ = trained_model
+        mask_file = str(tmp_path / "masks.json")
+        code, out, _ = run_cli(
+            capsys, "attack", "masks", "--model", model,
+            "--source-guesses", "500", "--top", "5",
+            "--output", mask_file,
+        )
+        assert code == 0
+        assert "top masks" in out
+        assert "substitution rules" in out
+        from repro.persistence import load_mask_set
+        mask_set = load_mask_set(mask_file)
+        assert mask_set.entries
+        assert mask_set.policy == "efficiency"
+
+    def test_attack_crossover(self, capsys, trained_model, tmp_path):
+        model, training = trained_model
+        baseline = str(tmp_path / "pcfg.json")
+        run_cli(capsys, "train", "--kind", "pcfg",
+                "--training", training, "--output", baseline)
+        victims = str(tmp_path / "cross-victims.txt")
+        run_cli(capsys, "generate", "yahoo", "--total", "800",
+                "--seed", "5", "--output", victims)
+        code, out, _ = run_cli(
+            capsys, "attack", "crossover", "--model", model,
+            "--baseline", baseline, "--victims", victims,
+            "--online-budget", "1000",
+            "--offline-budget", "10000000",
+        )
+        assert code == 0
+        assert "online cracked fraction" in out
+        assert "offline cracked fraction" in out
+        assert "crossover" in out
+        assert "fuzzyPSM" in out
+        assert "PCFG" in out
 
     def test_profile(self, capsys, trained_model):
         _, training = trained_model

@@ -8,6 +8,7 @@ from repro.experiments.runner import (
     build_meters,
     evaluate_meters,
     prepare_scenario_data,
+    run_crossover,
     run_scenario,
 )
 from repro.experiments.scenarios import scenario
@@ -183,3 +184,48 @@ class TestEvaluateMeters:
         tiny = PasswordCorpus(["one"])
         with pytest.raises(ValueError):
             evaluate_meters([], tiny)
+
+
+class TestRunCrossover:
+    def test_crossover_on_small_scenario(self, ecosystem, config):
+        report = run_crossover(
+            scenario("ideal-csdn"), ecosystem=ecosystem, config=config,
+            online_budget=1000, offline_budget=10**8,
+        )
+        assert [curves.name for curves in report.curves] == [
+            "fuzzyPSM", "PCFG",
+        ]
+        assert report.online_budget == 1000
+        assert report.offline_budget == 10**8
+        for curves in report.curves:
+            # Materialized online curve over the decade grid...
+            assert [p.guesses for p in curves.online] == [
+                1, 10, 100, 1000,
+            ]
+            assert 0.0 <= curves.online_fraction() <= 1.0
+            # ...and the analytic offline extrapolation reaches 10^8
+            # without materializing guesses past the online horizon.
+            assert curves.offline[-1].guesses == 10**8
+            assert (
+                curves.offline_fraction() >= curves.online[0].cracked_fraction
+            )
+            assert curves.mask_set.entries
+            assert curves.mask_set.source_guesses <= 1000
+
+    def test_meter_override(self, ecosystem, config):
+        report = run_crossover(
+            scenario("ideal-csdn"), ecosystem=ecosystem, config=config,
+            meters=("Markov", "PCFG"), online_budget=100,
+            offline_budget=10**6, enumerate_limit=200,
+        )
+        assert [curves.name for curves in report.curves] == [
+            "Markov", "PCFG",
+        ]
+
+    def test_non_generative_meter_rejected(self, ecosystem, config):
+        with pytest.raises(TypeError, match="guess enumeration"):
+            run_crossover(
+                scenario("ideal-csdn"), ecosystem=ecosystem,
+                config=config, meters=("fuzzyPSM", "NIST"),
+                online_budget=100, offline_budget=10**6,
+            )

@@ -4,6 +4,7 @@ import itertools
 
 import pytest
 
+from repro import obs
 from repro.metrics.enumeration import (
     LazyDescendingList,
     deduplicate_guesses,
@@ -129,3 +130,65 @@ class TestDeduplicate:
         guesses = iter([("Abc", 0.5), ("abc", 0.4)])
         result = list(deduplicate_guesses(guesses, key=str.lower))
         assert result == [("Abc", 0.5)]
+
+    def test_max_seen_validation(self):
+        with pytest.raises(ValueError):
+            list(deduplicate_guesses(iter([]), max_seen=0))
+
+
+class TestBoundedBuffers:
+    """The 10^10-scale bounds: both enumeration-side memory growths
+    (the lazy-list buffer and the dedup seen-set) are cappable, degrade
+    best-effort, and announce the degradation through telemetry once.
+    """
+
+    def test_lazy_list_max_buffer_validation(self):
+        with pytest.raises(ValueError):
+            LazyDescendingList(iter([]), max_buffer=0)
+
+    def test_lazy_list_truncates_at_bound(self):
+        lazy = LazyDescendingList(
+            ((i, 1.0 / (i + 1)) for i in itertools.count()),
+            max_buffer=3,
+        )
+        assert lazy.get(2) == (2, pytest.approx(1 / 3))
+        # Reads past the bound act like the stream ended there...
+        assert lazy.get(3) is None
+        assert lazy.get(100) is None
+        # ...without disturbing the cached prefix.
+        assert lazy.get(0) == (0, 1.0)
+
+    def test_lazy_list_truncation_counted_once(self):
+        with obs.session() as telemetry:
+            lazy = LazyDescendingList(
+                ((i, 0.5) for i in itertools.count()), max_buffer=2
+            )
+            assert lazy.get(5) is None
+            assert lazy.get(7) is None
+            counters = telemetry.snapshot()["counters"]
+        assert counters["enum.lazy.truncated"] == 1
+
+    def test_products_over_bounded_lazy_list(self):
+        # A bounded lazy factor behaves exactly like the factor cut at
+        # the bound: the infinite digit stream contributes 2 options.
+        lazy = LazyDescendingList(
+            ((str(i), 0.5 ** (i + 1)) for i in itertools.count()),
+            max_buffer=2,
+        )
+        result = list(descending_products([[("a", 1.0)], lazy]))
+        assert [v for v, _ in result] == [("a", "0"), ("a", "1")]
+
+    def test_dedup_seen_cap_is_best_effort(self):
+        guesses = iter([
+            ("a", 0.9), ("b", 0.8),   # fill the 2-marker budget
+            ("a", 0.7),               # known duplicate: still dropped
+            ("c", 0.6),               # new marker, not recorded
+            ("c", 0.5),               # ...so its repeat leaks through
+        ])
+        with obs.session() as telemetry:
+            result = list(deduplicate_guesses(guesses, max_seen=2))
+            counters = telemetry.snapshot()["counters"]
+        assert result == [
+            ("a", 0.9), ("b", 0.8), ("c", 0.6), ("c", 0.5),
+        ]
+        assert counters["enum.dedup.seen_capped"] == 1

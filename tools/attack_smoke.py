@@ -1,0 +1,137 @@
+"""End-to-end smoke test of ``repro attack`` as a real subprocess.
+
+The attack test suites exercise :mod:`repro.attacks` in-process; this
+script covers the CLI seam: training two models on disk, then driving
+all four ``repro attack`` subcommands (``enumerate``, ``masks``,
+``simulate``, ``crossover``) through ``python -m repro`` and checking
+their observable outputs — descending enumeration, a persisted mask
+set that loads back, simulation fractions, and the online/offline
+crossover tables.  Used by ``make attack-smoke`` and the CI attack
+job.
+
+Exit status 0 on success; any failure prints the command's output and
+exits non-zero within the overall deadline (no hung CI jobs).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs.core import now  # noqa: E402
+
+#: Overall wall-clock budget for the whole smoke run.
+DEADLINE = 120.0
+
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+
+
+def _fail(message: str, output: str = "") -> None:
+    print(f"attack-smoke FAILED: {message}", file=sys.stderr)
+    if output:
+        print(f"--- command output ---\n{output}", file=sys.stderr)
+    sys.exit(1)
+
+
+def _repro(*argv: str, deadline: float) -> str:
+    """Run one CLI command, returning stdout+stderr; die on failure."""
+    command = [sys.executable, "-m", "repro", *argv]
+    try:
+        result = subprocess.run(
+            command, env=_ENV, cwd=REPO_ROOT, text=True,
+            capture_output=True, timeout=max(1.0, deadline),
+        )
+    except subprocess.TimeoutExpired as error:
+        _fail(f"timed out: {' '.join(command)}", str(error.stdout))
+    if result.returncode != 0:
+        _fail(
+            f"exit {result.returncode}: {' '.join(command)}",
+            result.stdout + result.stderr,
+        )
+    return result.stdout + result.stderr
+
+
+def main() -> int:
+    started = now()
+
+    def remaining() -> float:
+        return DEADLINE - (now() - started)
+
+    with tempfile.TemporaryDirectory(prefix="repro-attack-") as workdir:
+        base = os.path.join(workdir, "base.txt")
+        training = os.path.join(workdir, "train.txt")
+        victims = os.path.join(workdir, "victims.txt")
+        fuzzy = os.path.join(workdir, "fuzzy.json")
+        pcfg = os.path.join(workdir, "pcfg.json")
+        masks = os.path.join(workdir, "masks.json")
+
+        _repro("generate", "rockyou", "--total", "3000",
+               "--output", base, deadline=remaining())
+        _repro("generate", "yahoo", "--total", "1500",
+               "--output", training, deadline=remaining())
+        _repro("generate", "yahoo", "--total", "800", "--seed", "9",
+               "--output", victims, deadline=remaining())
+        _repro("train", "--training", training, "--base", base,
+               "--output", fuzzy, deadline=remaining())
+        _repro("train", "--kind", "pcfg", "--training", training,
+               "--output", pcfg, deadline=remaining())
+        print("corpora generated, fuzzyPSM + PCFG trained")
+
+        out = _repro("attack", "enumerate", "--model", fuzzy,
+                     "-n", "50", "--beam-width", "2000", "--stats",
+                     deadline=remaining())
+        lines = [line for line in out.splitlines()
+                 if line and "\t" in line]
+        if len(lines) != 50:
+            _fail(f"enumerate returned {len(lines)} guesses", out)
+        probabilities = [float(line.split("\t")[1]) for line in lines]
+        if probabilities != sorted(probabilities, reverse=True):
+            _fail("enumeration not descending", out)
+        if "pops=" not in out:
+            _fail("enumerate --stats missing telemetry line", out)
+        print("enumerate OK: 50 descending guesses")
+
+        out = _repro("attack", "masks", "--model", fuzzy,
+                     "--source-guesses", "2000", "--top", "10",
+                     "--output", masks, deadline=remaining())
+        if "top masks" not in out or "substitution rules" not in out:
+            _fail("masks output missing tables", out)
+        from repro.persistence import load_mask_set
+        mask_set = load_mask_set(masks)
+        if not mask_set.entries or mask_set.total_keyspace <= 0:
+            _fail(f"bad persisted mask set: {mask_set!r}", out)
+        print(f"masks OK: {len(mask_set.entries)} masks, "
+              f"keyspace {mask_set.total_keyspace:.3e}")
+
+        out = _repro("attack", "simulate", "--model", fuzzy,
+                     "--victims", victims, "--lockout", "50",
+                     "--hash", "bcrypt", "--max-guesses", "20000",
+                     deadline=remaining())
+        if "online" not in out or "offline (bcrypt" not in out:
+            _fail("simulate output missing attack rows", out)
+        print("simulate OK")
+
+        out = _repro("attack", "crossover", "--model", fuzzy,
+                     "--baseline", pcfg, "--victims", victims,
+                     "--online-budget", "1000",
+                     "--offline-budget", "10000000",
+                     deadline=remaining())
+        for needle in ("online cracked fraction",
+                       "offline cracked fraction",
+                       "crossover", "fuzzyPSM", "PCFG"):
+            if needle not in out:
+                _fail(f"crossover output missing {needle!r}", out)
+        print("crossover OK: online + offline tables present")
+
+    print(f"attack-smoke OK in {now() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
