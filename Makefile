@@ -24,6 +24,7 @@ bench-smoke:
 		benchmarks/test_timing_measure.py \
 		benchmarks/test_timing_lint.py \
 		benchmarks/test_timing_serving.py \
+		benchmarks/test_timing_snapshot_attach.py \
 		benchmarks/test_timing_attack_engine.py -q
 
 # End-to-end smoke of `repro serve` as a real subprocess: trains a

@@ -13,8 +13,10 @@ The rule leans on the pass-1 :class:`ProjectIndex`: worker entrypoints
 come from real ``pool.imap``/``apply_async``/``Process(target=...)``
 call sites anywhere in the project, the blessed writers are functions
 actually installed via ``initializer=`` (plus the ``_worker_init*``
-naming convention), and reachability is the transitive closure over
-the approximate call graph.  A ``global`` statement is the write
+and ``_worker_attach*`` naming conventions — the latter being the
+shared-memory attach cache of :mod:`repro.core.shm`, broadcast-once
+state of the same kind), and reachability is the transitive closure
+over the approximate call graph.  A ``global`` statement is the write
 signal — rebinding a broadcast-once global is exactly the bug class.
 
 It also rejects unpicklable task targets (lambdas and nested
@@ -40,8 +42,9 @@ class ForkSafetyRule(ProjectRule):
     summary = (
         "worker entrypoints and their transitive callees may read but "
         "never write broadcast-once module globals (only _worker_init* "
-        "pool initializers may), and pool task targets must be "
-        "picklable module-level functions"
+        "pool initializers and _worker_attach* segment-attach helpers "
+        "may), and pool task targets must be picklable module-level "
+        "functions"
     )
 
     def check(self, tree: ast.Module) -> None:
@@ -66,8 +69,8 @@ class ForkSafetyRule(ProjectRule):
                 1,
                 f"worker-reachable function {info.qualname!r} writes "
                 f"module global(s) {names} after fork; only a blessed "
-                f"_worker_init* pool initializer may write "
-                f"broadcast-once state",
+                f"_worker_init* initializer or _worker_attach* helper "
+                f"may write broadcast-once state",
             )
 
         nested_names = {

@@ -30,8 +30,11 @@ from repro.attacks.masks import (
     compile_rules,
     crossover_report,
     decade_checkpoints,
+    export_hashcat,
     mask_keyspace,
     mask_of,
+    read_hcmask,
+    read_rules,
 )
 from repro.attacks.simulator import (
     AttackOutcome,
@@ -63,7 +66,10 @@ __all__ = [
     "compile_rules",
     "crossover_report",
     "decade_checkpoints",
+    "export_hashcat",
     "guess_stream_for",
     "mask_keyspace",
     "mask_of",
+    "read_hcmask",
+    "read_rules",
 ]

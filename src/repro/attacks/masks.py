@@ -38,6 +38,7 @@ which the meters' ordering flips.
 
 from __future__ import annotations
 
+import os
 import string
 from bisect import bisect_right
 from dataclasses import dataclass
@@ -378,6 +379,89 @@ def compile_rules(frozen: FrozenGrammar) -> Tuple[RuleEntry, ...]:
             )
     entries.sort(key=lambda rule: (-rule.probability, rule.rule))
     return tuple(entries)
+
+
+# --- hashcat file export ---------------------------------------------
+
+
+def export_hashcat(
+    mask_set: MaskSet, directory: str, stem: Optional[str] = None
+) -> Dict[str, str]:
+    """Write ``mask_set`` as hashcat-consumable files into ``directory``.
+
+    Produces ``<stem>.hcmask`` (one mask per line, execution order)
+    and — when the set carries rules — ``<stem>.rule`` (one hashcat
+    rule line per entry, ranked).  Metadata rides in ``#`` comment
+    lines, which both hashcat loaders ignore, so the files feed
+    ``hashcat -a 3 hashes <stem>.hcmask`` / ``-r <stem>.rule``
+    unmodified.  Returns ``{"hcmask": path, "rule": path?}``;
+    :func:`read_hcmask` / :func:`read_rules` parse the files back for
+    round-trip verification against the JSON envelope
+    (:func:`repro.persistence.load_mask_set`).
+    """
+    os.makedirs(directory, exist_ok=True)
+    chosen = stem if stem else (mask_set.source or "masks")
+    written: Dict[str, str] = {}
+    mask_path = os.path.join(directory, f"{chosen}.hcmask")
+    with open(mask_path, "w", encoding="utf-8") as handle:
+        handle.write(
+            f"# compiled by repro attack masks: policy="
+            f"{mask_set.policy} source={mask_set.source or '-'} "
+            f"source_guesses={mask_set.source_guesses}\n"
+        )
+        for entry in mask_set.entries:
+            handle.write(
+                f"# keyspace={entry.keyspace} "
+                f"mass={entry.probability:.6e} "
+                f"observed={entry.observed}\n"
+            )
+            handle.write(entry.mask + "\n")
+    written["hcmask"] = mask_path
+    if mask_set.rules:
+        rule_path = os.path.join(directory, f"{chosen}.rule")
+        with open(rule_path, "w", encoding="utf-8") as handle:
+            handle.write(
+                "# grammar transformation probabilities as hashcat "
+                "rules, ranked\n"
+            )
+            for rule in mask_set.rules:
+                handle.write(
+                    f"# p={rule.probability:.6e} {rule.description}\n"
+                )
+                handle.write(rule.rule + "\n")
+        written["rule"] = rule_path
+    return written
+
+
+def read_hcmask(path: str) -> List[str]:
+    """Masks from a ``.hcmask`` file, in execution order.
+
+    The subset of hashcat's format this package emits: ``#`` comments
+    and blank lines are skipped, every other line is one mask, which
+    is validated via :func:`mask_keyspace` so a corrupted file fails
+    here rather than inside hashcat.
+    """
+    masks: List[str] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            mask_keyspace(text)  # raises ValueError on malformed masks
+            masks.append(text)
+    return masks
+
+
+def read_rules(path: str) -> List[str]:
+    """Rule lines from a ``.rule`` file (comments/blanks skipped)."""
+    rules: List[str] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            rules.append(text)
+    return rules
 
 
 # --- crossover analysis ----------------------------------------------

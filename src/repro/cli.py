@@ -29,9 +29,10 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import signal
 import sys
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.datasets.loaders import (
     load_corpus,
@@ -59,7 +60,7 @@ from repro.meters.base import probability_to_entropy
 from repro.meters.markov import Smoothing
 from repro.meters.registry import Capability, TrainContext
 from repro.persistence import load_meter, save_meter
-from repro.serve import ReproServer, ServeConfig
+from repro.serve import ReproServer, ServeConfig, SnapshotRegistry
 from repro.survey.analysis import survey_report
 
 
@@ -266,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", "-o",
         help="save the compiled mask set (JSON envelope)",
     )
+    attack_masks.add_argument(
+        "--export", metavar="DIR",
+        help="also write hashcat-consumable .hcmask/.rule files "
+        "into DIR",
+    )
 
     attack_simulate = attack_commands.add_parser(
         "simulate", help="simulate Table I's trawling attackers"
@@ -374,8 +380,13 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve a saved model over HTTP (check/suggest/policy)",
     )
-    serve.add_argument("--model", required=True,
-                       help="saved model file (repro train output)")
+    serve.add_argument(
+        "--model", required=True, action="append", dest="models",
+        metavar="[NAME=]PATH",
+        help="saved model file (repro train output); repeatable — "
+        "NAME=PATH serves several models routed by the model= request "
+        "parameter (the first one is the default route)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8042,
                        help="bind port (0 = ephemeral)")
@@ -783,7 +794,7 @@ def _cmd_attack_enumerate(args: argparse.Namespace) -> int:
 
 def _cmd_attack_masks(args: argparse.Namespace) -> int:
     from repro.attacks import compile_mask_set, compile_rules
-    from repro.attacks import guess_stream_for
+    from repro.attacks import export_hashcat, guess_stream_for
     from repro.persistence import save_mask_set
     meter = load_meter(args.model)
     rules = ()
@@ -823,6 +834,10 @@ def _cmd_attack_masks(args: argparse.Namespace) -> int:
         save_mask_set(mask_set, args.output)
         print(f"\nmask set ({len(mask_set.entries)} masks) "
               f"-> {args.output}")
+    if args.export:
+        written = export_hashcat(mask_set, args.export)
+        for kind in sorted(written):
+            print(f"hashcat {kind} -> {written[kind]}")
     return 0
 
 
@@ -1037,9 +1052,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
 
-async def _serve_until_signal(meter: Any, config: ServeConfig) -> int:
+async def _serve_until_signal(
+    registry: SnapshotRegistry, config: ServeConfig
+) -> int:
     """Run the server until SIGINT/SIGTERM, then drain and stop."""
-    server = ReproServer(meter, config)
+    server = ReproServer(registry, config)
     await server.start()
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -1053,6 +1070,7 @@ async def _serve_until_signal(meter: Any, config: ServeConfig) -> int:
         f"http://{config.host}:{server.port}",
         flush=True,
     )
+    print("models: " + ", ".join(server.models), flush=True)
     try:
         await stop.wait()
     finally:
@@ -1060,8 +1078,29 @@ async def _serve_until_signal(meter: Any, config: ServeConfig) -> int:
     return 0
 
 
+def _parse_model_spec(spec: str) -> Tuple[str, str]:
+    """``NAME=PATH`` → ``(name, path)``; a bare path names itself.
+
+    A spec counts as named only when the part before the first ``=``
+    is non-empty and not itself a path; bare paths take their file
+    stem as the model name.
+    """
+    name, separator, path = spec.partition("=")
+    if separator and name and os.sep not in name:
+        return name, path
+    stem = os.path.splitext(os.path.basename(spec))[0]
+    return stem or "default", spec
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    meter = load_meter(args.model)
+    registry = SnapshotRegistry()
+    for spec in args.models:
+        name, path = _parse_model_spec(spec)
+        try:
+            registry.add(name, load_meter(path))
+        except ValueError as error:
+            print(f"error: --model {spec}: {error}", file=sys.stderr)
+            return 2
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -1071,7 +1110,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_body=args.max_body,
     )
     try:
-        return asyncio.run(_serve_until_signal(meter, config))
+        return asyncio.run(_serve_until_signal(registry, config))
     except KeyboardInterrupt:  # pragma: no cover - direct ^C race
         return 0
 

@@ -45,7 +45,7 @@ then lexicographic base) is identical to
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.trie import FuzzyMatch, _Node, _TOGGLE
@@ -84,6 +84,23 @@ class CompiledTrie:
         "_parent_chars", "_terminal", "_transitions", "_shift",
         "_ord_bound", "_toggle_ord", "_min_length", "_size",
     )
+
+    # Flat buffers are ``array``s when compiled in-process and zero-copy
+    # ``memoryview`` casts when attached from a shared-memory segment
+    # (:meth:`from_arrays`); every consumer indexes them, so the common
+    # ``Sequence`` surface is all that is relied on.
+    _edge_starts: Sequence[int]
+    _edge_chars: str
+    _edge_children: Sequence[int]
+    _parents: Sequence[int]
+    _parent_chars: str
+    _terminal: Sequence[int]
+    _transitions: Dict[int, int]
+    _shift: int
+    _ord_bound: int
+    _toggle_ord: Dict[str, int]
+    _min_length: int
+    _size: int
 
     def __init__(self, root: _Node, min_length: int, size: int) -> None:
         """Flatten a pointer-trie ``root`` (a ``trie._Node``).
@@ -144,6 +161,76 @@ class CompiledTrie:
         if telemetry.enabled:
             telemetry.incr("trie.compiled")
             telemetry.observe("trie.compiled.nodes", float(len(terminal)))
+
+    # --- flat-column export / attach ----------------------------------
+
+    def to_arrays(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """``(meta, sections)`` flat columns for the snapshot plane.
+
+        Every buffer becomes a section the shared-memory segment
+        (:mod:`repro.core.shm`) can store behind its directory: the CSR
+        arrays and the packed transition index as ``int64`` columns
+        (keys and values in insertion order, so ``dict(zip(...))``
+        rebuilds the identical dict), the character tables as UTF-8
+        blobs, and the terminal flags as raw bytes.  ``meta`` carries
+        the scalars (``shift``, ``min_length``, ``size``).
+        """
+        transitions = self._transitions
+        sections: Dict[str, Any] = {
+            "edge_starts": array("q", self._edge_starts),
+            "edge_chars": self._edge_chars,
+            "edge_children": array("q", self._edge_children),
+            "parents": array("q", self._parents),
+            "parent_chars": self._parent_chars,
+            "terminal": bytes(self._terminal),
+            "transition_keys": array("q", transitions.keys()),
+            "transition_values": array("q", transitions.values()),
+        }
+        meta = {
+            "shift": self._shift,
+            "min_length": self._min_length,
+            "size": self._size,
+        }
+        return meta, sections
+
+    @classmethod
+    def from_arrays(
+        cls, meta: Dict[str, Any], sections: Dict[str, Any]
+    ) -> "CompiledTrie":
+        """Rebuild a compiled trie from :meth:`to_arrays` columns.
+
+        The attach half of the snapshot plane: numeric columns are
+        adopted by reference (typically zero-copy ``memoryview('q')``
+        casts into a shared segment), so no per-node Python objects are
+        ever built.  The only per-entry work is ``dict(zip(...))`` over
+        the stored transition columns — C-speed, and the dict it builds
+        is identical (same pairs, same insertion order) to the one
+        :meth:`__init__` derives, so matching behaviour is bit-for-bit
+        the same.
+        """
+        self = cls.__new__(cls)
+        self._edge_starts = sections["edge_starts"]
+        self._edge_chars = sections["edge_chars"]
+        self._edge_children = sections["edge_children"]
+        self._parents = sections["parents"]
+        self._parent_chars = sections["parent_chars"]
+        self._terminal = sections["terminal"]
+        self._transitions = dict(
+            zip(sections["transition_keys"], sections["transition_values"])
+        )
+        shift = int(meta["shift"])
+        self._shift = shift
+        self._ord_bound = 1 << shift
+        self._toggle_ord = {
+            ch: code for ch, code in _TOGGLE_ORD.items()
+            if code < self._ord_bound
+        }
+        self._min_length = int(meta["min_length"])
+        self._size = int(meta["size"])
+        telemetry = obs.get()
+        if telemetry.enabled:
+            telemetry.incr("trie.attached")
+        return self
 
     # --- basic queries ------------------------------------------------
 

@@ -16,7 +16,6 @@ tool, paper footnote 6) and be sampled for Monte-Carlo guess numbers.
 
 from __future__ import annotations
 
-import multiprocessing
 import random
 import warnings
 from array import array
@@ -34,7 +33,6 @@ from typing import (
 
 from repro import obs
 from repro.obs.core import now as _now
-from repro.core.compiled_trie import CompiledTrie
 from repro.core.frozen import FrozenGrammar
 from repro.core.grammar import (
     Derivation,
@@ -47,6 +45,11 @@ from repro.core.parser import (
     DEFAULT_PARSE_CACHE_SIZE,
     FuzzyParser,
     ParsedPassword,
+)
+from repro.core.shm import (
+    SharedScoringSegment,
+    _worker_attach_state,
+    mp_context,
 )
 from repro.core.training import (
     PasswordEntry,
@@ -144,43 +147,41 @@ def _build_parser(trie: PrefixTrie, config: FuzzyPSMConfig) -> FuzzyParser:
 
 
 #: Distinct-password cutoff below which ``jobs > 1`` still scores
-#: serially.  Spawning a pool costs a fixed fork + broadcast price
-#: (compiled matchers and the frozen grammar pickle into every worker),
-#: so small batches — where the serial frozen-kernel path finishes in
-#: milliseconds — must not pay it.  Mirrors the training fallback
+#: serially.  Workers attach to the meter's shared-memory snapshot
+#: segment by *name* (DESIGN.md §16), so the old per-pool broadcast tax
+#: — pickling compiled matchers and the frozen grammar into every
+#: worker — is gone and the cutoff only has to cover process start-up
+#: itself.  Mirrors the training fallback
 #: (:data:`repro.core.training.PARALLEL_MIN_ENTRIES`); pass
 #: ``parallel_threshold`` to :meth:`FuzzyPSM.probability_many` to
 #: override (tests and tuning).
-PARALLEL_MIN_DISTINCT = 10_000
+PARALLEL_MIN_DISTINCT = 2_000
 
-#: Per-worker scoring state, installed once by ``_score_worker_init``
+#: Per-worker scoring state, installed once by ``_worker_init_shared``
 #: so every chunk mapped to that worker reuses the same compiled
 #: matchers and frozen grammar.
 _SCORE_PARSER: Optional[FuzzyParser] = None
 _SCORE_FROZEN: Optional[FrozenGrammar] = None
 
 
-def _score_worker_init(
-    forward: CompiledTrie,
-    reversed_matcher: Optional[CompiledTrie],
-    min_length: int,
-    flags: Dict[str, bool],
-    parse_cache_size: int,
-    frozen: FrozenGrammar,
-) -> None:
-    """Process-pool initialiser: receive the scoring state **once**.
+def _worker_init_shared(segment_name: str) -> None:
+    """Process-pool initialiser: attach the shared snapshot **once**.
 
-    Workers get the flat-array :class:`CompiledTrie` snapshots and the
-    :class:`FrozenGrammar` at pool start-up instead of per task — the
-    broadcast half of the protocol in DESIGN.md §11.  Nothing here
-    re-walks a pointer trie or re-divides a count table.
+    Workers receive only a segment *name* — nothing model-sized is
+    pickled, so the initialiser costs the same few milliseconds under
+    ``fork`` and ``spawn`` alike (the broadcast half of DESIGN.md §11,
+    re-based onto the snapshot plane of §16).  The per-process attach
+    cache in :mod:`repro.core.shm` makes re-initialisation with an
+    unchanged name (worker respawns) effectively free.
     """
     global _SCORE_PARSER, _SCORE_FROZEN
-    _SCORE_PARSER = FuzzyParser.from_compiled(
-        forward, reversed_matcher, min_length, flags,
-        parse_cache_size=parse_cache_size,
-    )
-    _SCORE_FROZEN = frozen
+    state = _worker_attach_state(segment_name)
+    if state.frozen is None:
+        raise ValueError(
+            f"segment {segment_name!r} carries no grammar tables"
+        )
+    _SCORE_PARSER = state.build_parser()
+    _SCORE_FROZEN = state.frozen
 
 
 def _score_chunk(chunk: List[str]) -> Tuple[List[float], float]:
@@ -194,7 +195,7 @@ def _score_chunk(chunk: List[str]) -> Tuple[List[float], float]:
     parser = _SCORE_PARSER
     frozen = _SCORE_FROZEN
     assert parser is not None and frozen is not None, \
-        "_score_worker_init did not run"
+        "_worker_init_shared did not run"
     start = _now()
     parse = parser.parse
     score = frozen.derivation_probability
@@ -258,6 +259,10 @@ class FuzzyPSM(ProbabilisticMeter):
         # lazily by :meth:`attack_engine` with the same epoch-keyed
         # invalidation as the frozen snapshot it sits on.
         self._attack_engine: Optional["AttackEngine"] = None
+        # Published shared-memory snapshot segment (DESIGN.md §16),
+        # built lazily by :meth:`shared_segment`; a stale epoch is
+        # unlinked when the replacement is published.
+        self._shared_segment: Optional[SharedScoringSegment] = None
 
     # --- construction -------------------------------------------------
 
@@ -353,6 +358,37 @@ class FuzzyPSM(ProbabilisticMeter):
             if telemetry.enabled:
                 telemetry.incr("meter.frozen.builds")
         return frozen
+
+    def shared_segment(self) -> SharedScoringSegment:
+        """The published snapshot segment for the current epoch.
+
+        Packs the compiled matchers and the frozen grammar into one
+        shared-memory segment (created lazily, cached by epoch) that
+        scoring pools, serve workers and attack tooling attach to by
+        name in milliseconds.  Publishing a new epoch unlinks the
+        retired segment — attached processes keep their mappings until
+        they drop them, late attachers fail fast.
+        """
+        segment = self._shared_segment
+        frozen = self.frozen_grammar()
+        if segment is not None and segment.epoch == frozen.epoch:
+            return segment
+        forward, reversed_matcher = self._parser.ensure_compiled_matchers()
+        telemetry = obs.get()
+        with telemetry.timer("shm.segment.publish.seconds"):
+            fresh = SharedScoringSegment.create(
+                epoch=frozen.epoch,
+                forward=forward,
+                min_length=self._trie.min_length,
+                flags=self._parser.flags,
+                parse_cache_size=self._config.parse_cache_size,
+                reversed_matcher=reversed_matcher,
+                frozen=frozen,
+            )
+        if segment is not None:
+            segment.unlink()
+        self._shared_segment = fresh
+        return fresh
 
     def attack_engine(self) -> "AttackEngine":
         """The compiled attack engine, current as of this call.
@@ -504,12 +540,14 @@ class FuzzyPSM(ProbabilisticMeter):
         once per *distinct* password in the pool; the (typically much
         longer) stream is then reassembled by dict lookup in the
         parent.  Workers never see the pointer trie or the count-table
-        grammar: the pool initializer broadcasts the compiled matchers
-        and the frozen snapshot exactly once per worker.
+        grammar — nor a pickled copy of anything model-sized: the pool
+        initializer hands each worker the *name* of the meter's shared
+        snapshot segment (:meth:`shared_segment`) and the worker
+        attaches zero-copy, under whatever start method
+        :func:`repro.core.shm.mp_context` selects.
         """
         telemetry = obs.get()
-        forward, reversed_matcher = self._parser.ensure_compiled_matchers()
-        frozen = self.frozen_grammar()
+        segment = self.shared_segment()
         # A few chunks per worker smooths over uneven parse costs
         # without inflating per-chunk pickling overhead (same shape as
         # parallel training).
@@ -520,17 +558,10 @@ class FuzzyPSM(ProbabilisticMeter):
         ]
         scores: Dict[str, float] = {}
         with telemetry.timer("meter.parallel.seconds"):
-            with multiprocessing.Pool(
+            with mp_context().Pool(
                 processes=jobs,
-                initializer=_score_worker_init,
-                initargs=(
-                    forward,
-                    reversed_matcher,
-                    self._trie.min_length,
-                    self._parser.flags,
-                    self._config.parse_cache_size,
-                    frozen,
-                ),
+                initializer=_worker_init_shared,
+                initargs=(segment.name,),
             ) as pool:
                 for chunk, (values, chunk_seconds) in zip(
                     chunks, pool.imap(_score_chunk, chunks)

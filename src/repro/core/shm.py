@@ -1,0 +1,423 @@
+"""Zero-copy shared-memory snapshot plane (DESIGN.md §16).
+
+Every multiprocess path in the repo used to broadcast its model by
+value: pool initializers pickled the compiled trie and frozen grammar
+into each worker (re-deserialized per process), and the serve workers
+leaned on fork/COW — which excludes spawn-start platforms and still
+pays a full rebuild on every ``/accept`` hot-swap.  This module moves
+the model's flat tables into one POSIX ``multiprocessing.shared_memory``
+segment instead, so any number of reader processes attach in
+milliseconds and score against the *same* physical bytes:
+
+* :class:`SharedScoringSegment` — owner/attachment handle.  ``create``
+  packs the :meth:`~repro.core.compiled_trie.CompiledTrie.to_arrays`
+  and :meth:`~repro.core.frozen.FrozenGrammar.to_tables` columns with
+  the section-directory codec (:mod:`repro.util.sections` — the same
+  layout as FPSMBIN1 model files) and writes the image into a fresh
+  segment; ``attach`` opens it by name; ``materialize`` rebuilds
+  scoring objects whose numeric columns are ``memoryview`` casts
+  straight into the mapping (no copy, bit-identical scores).
+* :class:`MaterializedScoringState` — what a worker scores with: the
+  compiled matchers, the (lazily decoded) frozen grammar, and the
+  parser configuration needed to rebuild a byte-identical
+  :class:`~repro.core.parser.FuzzyParser`.
+* :func:`mp_context` — the repo-wide start-method policy: ``fork``
+  where available, overridable via ``REPRO_START_METHOD`` (``spawn``
+  CI legs run every pool through here).
+* :func:`_worker_attach_state` — the per-process attach cache worker
+  initializers call with a segment *name*; re-initialising with a new
+  name (an epoch hot-swap) attaches the new segment and detaches the
+  old one.
+
+Lifetime rules: exactly one process owns a segment (the one that
+called ``create``); owners must ``unlink`` when the epoch is retired,
+and an ``atexit`` hook unlinks anything they leaked.  Attached
+processes only ever ``close`` their mapping — CPython < 3.13 wrongly
+registers attachments with the ``resource_tracker`` (whose exit-time
+cleanup would unlink a segment the process does not own), so ``attach``
+immediately unregisters.  ``close`` is BufferError-safe: materialized
+states export views into the mapping, and while any survive the
+mapping is left open for the OS to reclaim at process exit rather than
+failing the caller.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import multiprocessing
+import os
+import uuid
+from multiprocessing import resource_tracker, shared_memory
+from multiprocessing.context import BaseContext
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro import obs
+from repro.core.compiled_trie import CompiledTrie
+from repro.core.frozen import FrozenGrammar
+from repro.core.parser import FuzzyParser
+from repro.util.sections import decode_sections, pack, read_header
+
+#: Magic of the in-segment image (the shared-memory sibling of the
+#: FPSMBIN1 file magic; same directory codec behind it).
+MAGIC = b"FPSMSHM1"
+
+#: Every segment name starts with this, so tests (and operators
+#: inspecting ``/dev/shm``) can attribute entries to the snapshot
+#: plane — and the test suite can assert none leak.
+SEGMENT_PREFIX = "reprosnap"
+
+#: Environment variable selecting the pool start method repo-wide.
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+
+def mp_context(method: Optional[str] = None) -> BaseContext:
+    """The multiprocessing context every repo pool is built from.
+
+    ``method`` (or the ``REPRO_START_METHOD`` environment variable)
+    picks ``fork``/``spawn``/``forkserver`` explicitly; the default is
+    ``fork`` where the platform offers it.  Because workers receive a
+    segment *name* instead of a model, every start method behaves
+    identically — the spawn CI legs simply export the variable.
+    """
+    chosen = method
+    if chosen is None:
+        env = os.environ.get(START_METHOD_ENV, "").strip().lower()
+        chosen = env or None
+    available = multiprocessing.get_all_start_methods()
+    if chosen is None:
+        chosen = "fork" if "fork" in available else available[0]
+    if chosen not in available:
+        raise ValueError(
+            f"unsupported start method {chosen!r} (from "
+            f"{START_METHOD_ENV}); expected one of {sorted(available)}"
+        )
+    return multiprocessing.get_context(chosen)
+
+
+class MaterializedScoringState:
+    """Scoring objects rebuilt from one attached segment.
+
+    Numeric columns inside ``forward``/``reversed_matcher``/``frozen``
+    are zero-copy views into the segment mapping: keep the state (or
+    its parser) alive only while the segment is attached.
+    """
+
+    __slots__ = (
+        "epoch", "forward", "reversed_matcher", "frozen", "min_length",
+        "flags", "parse_cache_size",
+    )
+
+    def __init__(
+        self,
+        epoch: int,
+        forward: CompiledTrie,
+        reversed_matcher: Optional[CompiledTrie],
+        frozen: Optional[FrozenGrammar],
+        min_length: int,
+        flags: Dict[str, bool],
+        parse_cache_size: int,
+    ) -> None:
+        self.epoch = epoch
+        self.forward = forward
+        self.reversed_matcher = reversed_matcher
+        self.frozen = frozen
+        self.min_length = min_length
+        self.flags = flags
+        self.parse_cache_size = parse_cache_size
+
+    def build_parser(self) -> FuzzyParser:
+        """A parser that parses byte-identically to the publisher's."""
+        return FuzzyParser.from_compiled(
+            self.forward,
+            self.reversed_matcher,
+            self.min_length,
+            dict(self.flags),
+            parse_cache_size=self.parse_cache_size,
+        )
+
+
+#: Segments created (hence owned) by this process, by name.  The
+#: ``atexit`` sweep unlinks leftovers so crashed owners do not leak
+#: ``/dev/shm`` entries; the pid check keeps fork children (which
+#: inherit this dict but not ownership) from destroying segments the
+#: parent is still serving.
+_OWNED: Dict[str, "SharedScoringSegment"] = {}
+
+
+def _cleanup_owned_segments() -> None:
+    pid = os.getpid()
+    for segment in list(_OWNED.values()):
+        if segment.owner_pid == pid:
+            segment.unlink()
+
+
+atexit.register(_cleanup_owned_segments)
+
+
+class SharedScoringSegment:
+    """Handle on one snapshot segment (owner or attached reader)."""
+
+    __slots__ = ("name", "epoch", "owner_pid", "_shm", "_closed")
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        epoch: int,
+        owner_pid: Optional[int],
+    ) -> None:
+        self.name = shm.name
+        self.epoch = epoch
+        #: pid of the creating process; ``None`` on attached handles.
+        self.owner_pid = owner_pid
+        self._shm = shm
+        self._closed = False
+
+    # --- publish -----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        epoch: int,
+        forward: CompiledTrie,
+        min_length: int,
+        flags: Mapping[str, bool],
+        parse_cache_size: int,
+        reversed_matcher: Optional[CompiledTrie] = None,
+        frozen: Optional[FrozenGrammar] = None,
+    ) -> "SharedScoringSegment":
+        """Pack a scoring snapshot into a fresh shared segment.
+
+        ``frozen`` is optional so the training engine can publish
+        trie-only segments (workers there parse, they do not score).
+        """
+        trie_meta, trie_sections = forward.to_arrays()
+        sections: Dict[str, Any] = {
+            f"t.{name}": value for name, value in trie_sections.items()
+        }
+        parts: Dict[str, Any] = {"t": trie_meta}
+        if reversed_matcher is not None:
+            rev_meta, rev_sections = reversed_matcher.to_arrays()
+            parts["r"] = rev_meta
+            sections.update(
+                (f"r.{name}", value)
+                for name, value in rev_sections.items()
+            )
+        if frozen is not None:
+            grammar_meta, grammar_sections = frozen.to_tables()
+            parts["g"] = grammar_meta
+            sections.update(
+                (f"g.{name}", value)
+                for name, value in grammar_sections.items()
+            )
+        image = pack(
+            MAGIC,
+            {
+                "epoch": epoch,
+                "min_length": min_length,
+                "flags": dict(flags),
+                "parse_cache_size": parse_cache_size,
+                "parts": parts,
+            },
+            sections,
+        )
+        shm: Optional[shared_memory.SharedMemory] = None
+        while shm is None:
+            candidate = (
+                f"{SEGMENT_PREFIX}-{os.getpid()}-{uuid.uuid4().hex[:12]}"
+            )
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=candidate, create=True, size=len(image)
+                )
+            except FileExistsError:  # pragma: no cover - uuid collision
+                continue
+        shm.buf[: len(image)] = image
+        segment = cls(shm, epoch, owner_pid=os.getpid())
+        _OWNED[segment.name] = segment
+        telemetry = obs.get()
+        if telemetry.enabled:
+            telemetry.incr("shm.segment.created")
+            telemetry.observe("shm.segment.bytes", float(len(image)))
+        return segment
+
+    # --- attach ------------------------------------------------------
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedScoringSegment":
+        """Open an existing segment by name (non-owning)."""
+        shm = shared_memory.SharedMemory(name=name)
+        # CPython < 3.13 registers *attached* segments with the
+        # resource tracker too; its exit-time cleanup would unlink a
+        # segment this process does not own.  Undo the registration —
+        # except when this very process is the owner (self-attach, e.g.
+        # the serial fallback path), where the tracker entry belongs to
+        # ``create`` and is balanced by ``unlink``.
+        if name not in _OWNED:
+            try:
+                resource_tracker.unregister(
+                    getattr(shm, "_name", "/" + shm.name), "shared_memory"
+                )
+            except (KeyError, ValueError):  # pragma: no cover - quirk
+                pass
+        view = memoryview(shm.buf)
+        header = read_header(view, MAGIC)
+        segment = cls(shm, int(header["epoch"]), owner_pid=None)
+        telemetry = obs.get()
+        if telemetry.enabled:
+            telemetry.incr("shm.segment.attached")
+        return segment
+
+    def materialize(self) -> MaterializedScoringState:
+        """Rebuild the scoring objects over this segment's bytes."""
+        view = memoryview(self._shm.buf)
+        header = read_header(view, MAGIC)
+        sections = decode_sections(header, view)
+        parts = header["parts"]
+
+        def part(prefix: str) -> Dict[str, Any]:
+            tag = prefix + "."
+            return {
+                name[len(tag):]: value
+                for name, value in sections.items()
+                if name.startswith(tag)
+            }
+
+        forward = CompiledTrie.from_arrays(parts["t"], part("t"))
+        reversed_matcher = (
+            CompiledTrie.from_arrays(parts["r"], part("r"))
+            if "r" in parts
+            else None
+        )
+        frozen = (
+            FrozenGrammar.from_tables(parts["g"], part("g"))
+            if "g" in parts
+            else None
+        )
+        return MaterializedScoringState(
+            int(header["epoch"]),
+            forward,
+            reversed_matcher,
+            frozen,
+            int(header["min_length"]),
+            {str(name): bool(value)
+             for name, value in header["flags"].items()},
+            int(header["parse_cache_size"]),
+        )
+
+    # --- lifetime ----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Mapping size in bytes (page-rounded by the OS)."""
+        return self._shm.size
+
+    def close(self) -> None:
+        """Detach this process's mapping (idempotent).
+
+        Materialized states hold zero-copy views into the mapping;
+        while any survive, closing would raise ``BufferError``.  One
+        GC pass is attempted to collect dropped states; if views still
+        remain the mapping is left open (the OS reclaims it at process
+        exit) instead of failing the caller mid-swap.
+        """
+        if self._closed:
+            return
+        shm = self._shm
+        try:
+            shm.close()
+        except BufferError:
+            gc.collect()
+            try:
+                shm.close()
+            except BufferError:
+                # Live views still reference the mapping (they hold it
+                # alive through their exporting ``mmap``, and the OS
+                # reclaims it once the last one dies).  Release what
+                # this handle owns — the fd — and neutralize it so
+                # ``SharedMemory.__del__`` does not retry (and fail
+                # noisily) during interpreter teardown.
+                fd = getattr(shm, "_fd", -1)
+                if isinstance(fd, int) and fd >= 0:
+                    try:
+                        os.close(fd)
+                    except OSError:  # pragma: no cover - already closed
+                        pass
+                    setattr(shm, "_fd", -1)
+                setattr(shm, "_mmap", None)
+        self._closed = True
+
+    def unlink(self) -> None:
+        """Destroy the segment name (owner side).
+
+        Existing mappings in attached processes stay valid until each
+        closes; only the name disappears, so late attachers fail fast
+        instead of reading a retired epoch.
+        """
+        _OWNED.pop(self.name, None)
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            return
+        telemetry = obs.get()
+        if telemetry.enabled:
+            telemetry.incr("shm.segment.unlinked")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "owner" if self.owner_pid is not None else "attached"
+        return (
+            f"SharedScoringSegment({self.name!r}, epoch={self.epoch}, "
+            f"{role})"
+        )
+
+
+#: Single-slot per-process attach cache: ``(segment name, handle,
+#: materialized state)``.  Worker initializers re-run on every pool
+#: (re)build with the current segment name; a changed name is an epoch
+#: hot-swap — attach the new segment, drop and close the old one.
+_ATTACH_CACHE: Optional[
+    Tuple[str, SharedScoringSegment, MaterializedScoringState]
+] = None
+
+
+def _cleanup_attach_cache() -> None:
+    """Drop the attach cache and detach its mapping at process exit.
+
+    Registered after the owned-segment sweep, so it runs first (LIFO):
+    the cached state's views are usually the last exported pointers
+    into the mapping, and releasing them here lets ``close`` succeed
+    instead of leaving ``SharedMemory.__del__`` to complain during
+    interpreter teardown.
+    """
+    global _ATTACH_CACHE
+    cached = _ATTACH_CACHE
+    _ATTACH_CACHE = None
+    if cached is not None:
+        cached[1].close()
+
+
+atexit.register(_cleanup_attach_cache)
+
+
+def _worker_attach_state(name: str) -> MaterializedScoringState:
+    """Attach ``name`` and materialize it, with a single-slot cache.
+
+    The shared tail of every pool initializer on the snapshot plane
+    (the ``_worker_attach*`` prefix is blessed by FPM012 exactly like
+    ``_worker_init*``): repeated calls with the same name — respawned
+    tasks, batched re-inits — reuse the existing mapping, so only the
+    first call per epoch pays the (millisecond) attach.
+    """
+    global _ATTACH_CACHE
+    cached = _ATTACH_CACHE
+    if cached is not None and cached[0] == name:
+        return cached[2]
+    segment = SharedScoringSegment.attach(name)
+    state = segment.materialize()
+    if cached is not None:
+        _ATTACH_CACHE = None
+        cached[1].close()
+    _ATTACH_CACHE = (name, segment, state)
+    return state

@@ -35,9 +35,10 @@ grammar whose ``to_dict`` is byte-identical to the serial pass
 from __future__ import annotations
 
 import itertools
-import multiprocessing
+import multiprocessing.pool
 import os
 from collections import deque
+from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro import obs
@@ -45,6 +46,7 @@ from repro.obs.core import now as _now
 from repro.core.deltas import DeltaBuilder, DeltaMerger, GrammarDelta
 from repro.core.grammar import FuzzyGrammar
 from repro.core.parser import FuzzyParser
+from repro.core.shm import SharedScoringSegment, _worker_attach_state, mp_context
 from repro.core.trie import PrefixTrie
 
 #: Training entries may carry a multiplicity, e.g. from a frequency file.
@@ -177,31 +179,20 @@ def _worker_init(
     _WORKER_BUILDER = DeltaBuilder(worker_id=os.getpid())
 
 
-def _worker_init_compiled(
-    forward: object,
-    reversed_matcher: object,
-    min_length: int,
-    flags: Dict[str, bool],
-    parse_cache_size: int,
-) -> None:
-    """Pool initialiser: adopt the parent's compiled matchers.
+def _worker_init_shared(segment_name: str) -> None:
+    """Pool initialiser: attach the parent's snapshot segment by name.
 
     The parent compiles its flat-array matchers once
-    (:meth:`FuzzyParser.ensure_compiled_matchers`) and broadcasts the
-    snapshots through the pool initargs; workers wrap them with
+    (:meth:`FuzzyParser.ensure_compiled_matchers`) and publishes them
+    into a shared-memory segment (DESIGN.md §16); workers attach
+    zero-copy and wrap the mapped tables with
     :meth:`FuzzyParser.from_compiled` without ever touching a pointer
-    trie.  This is what makes the pool *persistent* in the useful
-    sense: its per-process setup cost no longer scales with the base
-    dictionary's trie shape.
+    trie — or a pickle.  Per-process setup cost is therefore flat in
+    the base dictionary's size under ``fork`` and ``spawn`` alike.
     """
     global _WORKER_PARSER, _WORKER_BUILDER
-    _WORKER_PARSER = FuzzyParser.from_compiled(
-        forward,  # type: ignore[arg-type]
-        reversed_matcher,  # type: ignore[arg-type]
-        min_length,
-        flags,
-        parse_cache_size=parse_cache_size,
-    )
+    state = _worker_attach_state(segment_name)
+    _WORKER_PARSER = state.build_parser()
     _WORKER_BUILDER = DeltaBuilder(worker_id=os.getpid())
 
 
@@ -224,32 +215,48 @@ def _delta_chunk(chunk: List[Tuple[str, int]]) -> GrammarDelta:
     return builder.finish_chunk(_now() - start)
 
 
-def _training_pool(parser: FuzzyParser, jobs: int) -> multiprocessing.pool.Pool:
-    """Create the persistent worker pool for ``parser``.
+@contextmanager
+def _training_pool(
+    parser: FuzzyParser, jobs: int
+) -> Iterator[multiprocessing.pool.Pool]:
+    """The persistent worker pool for ``parser``, with segment lifetime.
 
-    Compiled parsers broadcast their flat-array matchers; the
-    ``use_compiled=False`` ablation falls back to shipping the word
-    list and rebuilding per worker.
+    Compiled parsers publish their flat-array matchers into a
+    trie-only shared-memory segment (no grammar tables — training
+    workers parse, they do not score) and hand every worker just the
+    segment name; the segment is unlinked when the pool winds down.
+    The ``use_compiled=False`` ablation falls back to shipping the
+    word list and rebuilding per worker.  Both paths build the pool
+    from :func:`repro.core.shm.mp_context`, so ``REPRO_START_METHOD``
+    governs training exactly like scoring and serving.
     """
     if parser.flags.get("use_compiled"):
         forward, reversed_matcher = parser.ensure_compiled_matchers()
-        return multiprocessing.Pool(
-            processes=jobs,
-            initializer=_worker_init_compiled,
-            initargs=(
-                forward,
-                reversed_matcher,
-                parser.trie.min_length,
-                parser.flags,
-                parser.cache_info()["capacity"],
-            ),
+        segment = SharedScoringSegment.create(
+            epoch=0,
+            forward=forward,
+            min_length=parser.trie.min_length,
+            flags=parser.flags,
+            parse_cache_size=parser.cache_info()["capacity"],
+            reversed_matcher=reversed_matcher,
         )
+        try:
+            with mp_context().Pool(
+                processes=jobs,
+                initializer=_worker_init_shared,
+                initargs=(segment.name,),
+            ) as pool:
+                yield pool
+        finally:
+            segment.unlink()
+        return
     trie = parser.trie
-    return multiprocessing.Pool(
+    with mp_context().Pool(
         processes=jobs,
         initializer=_worker_init,
         initargs=(list(trie.iter_words()), trie.min_length, parser.flags),
-    )
+    ) as pool:
+        yield pool
 
 
 def train_grammar(training_passwords: Iterable[PasswordEntry],

@@ -102,6 +102,7 @@ register_namespace("meter")
 register_namespace("parser")
 register_namespace("profile")
 register_namespace("serve")
+register_namespace("shm")
 register_namespace("stream")
 register_namespace("train")
 register_namespace("training")

@@ -44,8 +44,7 @@ from __future__ import annotations
 import json
 import mmap
 import sys
-from array import array
-from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict
 
 if TYPE_CHECKING:  # runtime import stays local (attacks imports this module)
     from repro.attacks.masks import MaskSet
@@ -53,6 +52,8 @@ if TYPE_CHECKING:  # runtime import stays local (attacks imports this module)
 from repro.meters import registry
 from repro.meters.base import Meter
 from repro.meters.registry import Capability, MeterSpec
+from repro.util.sections import SectionError, decode_sections, read_header
+from repro.util.sections import pack as pack_sections
 
 FORMAT_VERSION = 1
 
@@ -64,10 +65,6 @@ BINARY_MAGIC = b"FPSMBIN1"
 #: Version of the binary layout recorded in (and checked against) the
 #: header envelope.
 BINARY_FORMAT_VERSION = 1
-
-#: Payload sections are padded to this alignment so ``int64`` columns
-#: can be cast straight out of the mapped file.
-_ALIGN = 8
 
 #: Backwards-compatible alias: any registered meter can be persisted
 #: as long as its registry entry declares :data:`Capability.PERSISTABLE`.
@@ -172,90 +169,30 @@ def _binary_spec(meter: Meter) -> MeterSpec:
     return spec
 
 
-def _encode_section(value: Any) -> Tuple[str, bytes, int]:
-    """``(dtype, payload, count)`` for one section value."""
-    if isinstance(value, array):
-        if value.typecode != "q":
-            raise TypeError(
-                f"binary sections must be array('q'), got "
-                f"array({value.typecode!r})"
-            )
-        return "i64", value.tobytes(), len(value)
-    if isinstance(value, str):
-        payload = value.encode("utf-8")
-        return "utf8", payload, len(payload)
-    raise TypeError(
-        f"binary sections must be array('q') or str, got "
-        f"{type(value).__name__}"
-    )
-
-
 def _save_meter_binary(meter: Meter, path: str) -> None:
-    """Write the magic/header/aligned-sections binary layout."""
+    """Write the magic/header/aligned-sections binary layout.
+
+    The framing itself lives in :mod:`repro.util.sections` (shared
+    with the shared-memory snapshot plane); this function only
+    supplies the meter-file envelope fields.  Output bytes are
+    identical to the pre-extraction writer.
+    """
     spec = _binary_spec(meter)
     meta, sections = meter.to_buffers()
-    directory: List[Dict[str, Any]] = []
-    payloads: List[Tuple[int, bytes]] = []
-    # Offsets are absolute file positions, assigned after the header
-    # is rendered (the directory itself does not shift them: it is
-    # rendered with final offsets in one pass below).
-    encoded = []
-    for name, value in sections.items():
-        dtype, payload, count = _encode_section(value)
-        encoded.append((name, dtype, payload, count))
-
-    def _render_header(offsets: List[int]) -> bytes:
-        header = {
+    image = pack_sections(
+        BINARY_MAGIC,
+        {
             "binary_format_version": BINARY_FORMAT_VERSION,
             "format_version": FORMAT_VERSION,
             "kind": spec.kind,
             "capabilities": spec.capability_names(),
             "byteorder": sys.byteorder,
             "meta": meta,
-            "sections": [
-                {
-                    "name": name,
-                    "dtype": dtype,
-                    "offset": offset,
-                    "length": len(payload),
-                    "count": count,
-                }
-                for (name, dtype, payload, count), offset in zip(
-                    encoded, offsets
-                )
-            ],
-        }
-        return json.dumps(header, sort_keys=True).encode("utf-8")
-
-    # Header length depends on the offsets and vice versa; iterate to
-    # a fixed point (two passes suffice — offsets only grow when the
-    # header grows, and digit-count growth converges immediately).
-    offsets = [0] * len(encoded)
-    for _ in range(4):
-        header_bytes = _render_header(offsets)
-        base = len(BINARY_MAGIC) + 8 + len(header_bytes)
-        base += (-base) % _ALIGN
-        new_offsets = []
-        position = base
-        for _name, _dtype, payload, _count in encoded:
-            new_offsets.append(position)
-            position += len(payload)
-            position += (-position) % _ALIGN
-        if new_offsets == offsets:
-            break
-        offsets = new_offsets
-    header_bytes = _render_header(offsets)
+        },
+        sections,
+    )
     with open(path, "wb") as handle:
-        handle.write(BINARY_MAGIC)
-        handle.write(len(header_bytes).to_bytes(8, "little"))
-        handle.write(header_bytes)
-        position = len(BINARY_MAGIC) + 8 + len(header_bytes)
-        for (_name, _dtype, payload, _count), offset in zip(
-            encoded, offsets
-        ):
-            handle.write(b"\0" * (offset - position))
-            handle.write(payload)
-            position = offset + len(payload)
+        handle.write(image)
 
 
 def _binary_error(path: str, reason: str) -> ValueError:
@@ -288,24 +225,10 @@ def _load_meter_binary(path: str) -> Meter:
 def _parse_binary_mapping(path: str, mapped: mmap.mmap) -> Meter:
     """Validate the header and rebuild the meter from a live mapping."""
     view = memoryview(mapped)
-    prefix = len(BINARY_MAGIC) + 8
-    if len(view) < prefix:
-        raise _binary_error(path, "truncated before header")
-    header_length = int.from_bytes(
-        view[len(BINARY_MAGIC):prefix], "little"
-    )
-    if len(view) < prefix + header_length:
-        raise _binary_error(path, "truncated inside header")
     try:
-        header = json.loads(
-            bytes(view[prefix:prefix + header_length]).decode("utf-8")
-        )
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise _binary_error(
-            path, f"corrupt header: {error}"
-        ) from error
-    if not isinstance(header, dict):
-        raise _binary_error(path, "header must be a JSON object")
+        header = read_header(view, BINARY_MAGIC)
+    except SectionError as error:
+        raise _binary_error(path, str(error)) from error
     version = header.get("binary_format_version")
     if version != BINARY_FORMAT_VERSION:
         raise _binary_error(
@@ -333,35 +256,10 @@ def _parse_binary_mapping(path: str, mapped: mmap.mmap) -> Meter:
             f"meter kind {spec.kind!r} has no binary format; "
             f"loadable kinds: {known}",
         )
-    swap = header.get("byteorder") != sys.byteorder
-    sections: Dict[str, Any] = {}
-    for entry in header.get("sections", []):
-        name = entry["name"]
-        offset = entry["offset"]
-        length = entry["length"]
-        if offset + length > len(view):
-            raise _binary_error(
-                path, f"truncated section {name!r}"
-            )
-        raw = view[offset:offset + length]
-        if entry["dtype"] == "i64":
-            if length % 8:
-                raise _binary_error(
-                    path, f"misaligned i64 section {name!r}"
-                )
-            if swap:
-                column = array("q")
-                column.frombytes(raw)
-                column.byteswap()
-                sections[name] = column
-            else:
-                sections[name] = raw.cast("q")
-        elif entry["dtype"] == "utf8":
-            sections[name] = bytes(raw).decode("utf-8")
-        else:
-            raise _binary_error(
-                path, f"unknown section dtype {entry['dtype']!r}"
-            )
+    try:
+        sections = decode_sections(header, view)
+    except SectionError as error:
+        raise _binary_error(path, str(error)) from error
     meta = header.get("meta", {})
     try:
         return spec.cls.from_buffers(meta, sections)

@@ -1,4 +1,4 @@
-"""The asyncio HTTP server composing snapshot, workers and batcher.
+"""The asyncio HTTP server composing snapshots, workers and batchers.
 
 :class:`ReproServer` is the online face of the meter (DESIGN.md §14):
 
@@ -9,8 +9,18 @@
 * ``GET /healthz``  — worker liveness (``healthy``/``degraded``);
 * ``GET /metrics``  — ``serve.*`` counters, latency percentiles.
 
+One process can serve several trained models: construct the server
+with a :class:`~repro.serve.registry.SnapshotRegistry` (a bare meter
+is wrapped as a one-model registry) and route requests with the
+``model=`` parameter — query string (``/check?model=canary``) or JSON
+body field — defaulting to the first-registered model.  Each model
+gets its own worker pool, shared-memory segment and micro-batcher, so
+a per-model ``/accept`` hot-swaps one model without touching its
+neighbours.
+
 Scoring never runs on the event loop: with ``workers > 0`` batches go
-to the warm :class:`~repro.serve.workers.WorkerPool` through the
+to the warm :class:`~repro.serve.workers.WorkerPool` (whose workers
+attach the model's shared segment — DESIGN.md §16) through the
 default executor; without workers they run ``probability_many`` in the
 executor (parallel-scorable meters) or inline per password.  Worker
 mode requires the ``PARALLEL_SCORABLE`` registry capability — gating
@@ -32,6 +42,7 @@ from functools import partial
 from typing import (
     Any, Awaitable, Callable, Deque, Dict, List, Optional, Set, Tuple,
 )
+from urllib.parse import parse_qs
 
 from repro.core.policy import COMMON_POLICIES, PasswordPolicy
 from repro.core.suggestions import suggest_stronger
@@ -42,6 +53,7 @@ from repro.serve.batcher import MicroBatcher
 from repro.serve.http import (
     MAX_HEADER_BYTES, HttpError, Request, read_request, render_response,
 )
+from repro.serve.registry import SnapshotRegistry
 from repro.serve.snapshot import ServingSnapshot
 from repro.serve.workers import WorkerPool
 
@@ -91,30 +103,75 @@ class ServeConfig:
     idle_timeout: float = 30.0
 
 
+class _ModelRuntime:
+    """Per-model serving state: meter, capabilities, pool, batcher."""
+
+    __slots__ = ("name", "meter", "parallel", "updatable", "pool",
+                 "batcher")
+
+    def __init__(self, name: str, meter: Any) -> None:
+        self.name = name
+        self.meter = meter
+        spec = spec_for(meter)
+        self.parallel = (
+            spec is not None and spec.has(Capability.PARALLEL_SCORABLE)
+        )
+        self.updatable = (
+            spec is not None and spec.has(Capability.UPDATABLE)
+        )
+        self.pool: Optional[WorkerPool] = None
+        self.batcher: Optional[MicroBatcher] = None
+
+    @property
+    def epoch(self) -> int:
+        """Grammar epoch this model currently serves."""
+        if self.pool is not None:
+            return self.pool.epoch
+        grammar = getattr(self.meter, "grammar", None)
+        return int(getattr(grammar, "epoch", 0))
+
+    def status(self) -> Dict[str, Any]:
+        """Per-model block for ``/healthz`` and ``/metrics``."""
+        return {
+            "epoch": self.epoch,
+            "workers": (
+                self.pool.statuses() if self.pool is not None else []
+            ),
+        }
+
+
 class ReproServer:
-    """One meter served over HTTP with batching and warm workers."""
+    """Registered meters served over HTTP with batching and workers."""
 
     def __init__(self, meter: Any,
                  config: Optional[ServeConfig] = None) -> None:
-        self._meter = meter
+        registry = (
+            meter if isinstance(meter, SnapshotRegistry)
+            else SnapshotRegistry.single(meter)
+        )
+        if len(registry) == 0:
+            raise ValueError("registry has no models to serve")
         self._config = config if config is not None else ServeConfig()
         self._telemetry = Telemetry()
-        spec = spec_for(meter)
-        self._parallel = (
-            spec is not None and spec.has(Capability.PARALLEL_SCORABLE)
-        )
-        self._updatable = (
-            spec is not None and spec.has(Capability.UPDATABLE)
-        )
-        if self._config.workers > 0 and not self._parallel:
-            raise ValueError(
-                "worker processes need a parallel-scorable meter "
-                "(registry capability PARALLEL_SCORABLE); "
-                f"got {spec.kind if spec else type(meter).__name__!r} "
-                "— run with workers=0"
-            )
-        self._pool: Optional[WorkerPool] = None
-        self._batcher: Optional[MicroBatcher] = None
+        self._runtimes: Dict[str, _ModelRuntime] = {
+            name: _ModelRuntime(name, model)
+            for name, model in registry.items()
+        }
+        self._default = registry.default_name
+        if self._config.workers > 0:
+            for runtime in self._runtimes.values():
+                if runtime.parallel:
+                    continue
+                spec = spec_for(runtime.meter)
+                kind = (
+                    spec.kind if spec
+                    else type(runtime.meter).__name__
+                )
+                raise ValueError(
+                    "worker processes need a parallel-scorable meter "
+                    "(registry capability PARALLEL_SCORABLE); model "
+                    f"{runtime.name!r} is {kind!r} — run with workers=0"
+                )
         self._server: Optional[asyncio.AbstractServer] = None
         self._supervisor: Optional["asyncio.Task[None]"] = None
         self._connections: Set["asyncio.Task[None]"] = set()
@@ -145,38 +202,47 @@ class ReproServer:
         return int(self._server.sockets[0].getsockname()[1])
 
     @property
+    def models(self) -> Tuple[str, ...]:
+        """Model names served, default (first-registered) first."""
+        return tuple(self._runtimes)
+
+    @property
+    def _pool(self) -> Optional[WorkerPool]:
+        """The default model's pool (lifecycle tests peek white-box)."""
+        return self._runtimes[self._default].pool
+
+    @property
     def epoch(self) -> int:
-        """Grammar epoch currently being served."""
-        if self._pool is not None:
-            return self._pool.epoch
-        grammar = getattr(self._meter, "grammar", None)
-        return int(getattr(grammar, "epoch", 0))
+        """Grammar epoch of the default model."""
+        return self._runtimes[self._default].epoch
 
     # --- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
-        """Spawn workers, start the batcher, bind the listener.
+        """Publish segments, spawn workers, start batchers, bind.
 
-        The worker pool forks on the event-loop thread *before* the
-        first executor thread exists, keeping the fork single-threaded
-        on the happy path.
+        Each model publishes its snapshot into a shared segment and
+        spawns its pool on the event-loop thread *before* the first
+        executor thread exists, keeping fork-start pools
+        single-threaded on the happy path.
         """
         if self._server is not None:
             raise RuntimeError("server already started")
         config = self._config
-        if config.workers > 0:
-            snapshot = ServingSnapshot.from_meter(self._meter)
-            self._pool = WorkerPool(
-                snapshot, config.workers, telemetry=self._telemetry
+        for runtime in self._runtimes.values():
+            if config.workers > 0:
+                snapshot = ServingSnapshot.from_meter(runtime.meter)
+                runtime.pool = WorkerPool(
+                    snapshot, config.workers, telemetry=self._telemetry
+                )
+            runtime.batcher = MicroBatcher(
+                partial(self._score_batch, runtime),
+                window=config.batch_window,
+                max_batch=config.max_batch,
+                telemetry=self._telemetry,
             )
-        self._batcher = MicroBatcher(
-            self._score_batch,
-            window=config.batch_window,
-            max_batch=config.max_batch,
-            telemetry=self._telemetry,
-        )
-        await self._batcher.start()
-        if self._pool is not None and config.supervisor_interval > 0:
+            await runtime.batcher.start()
+        if config.workers > 0 and config.supervisor_interval > 0:
             self._supervisor = asyncio.create_task(self._supervise())
         self._server = await asyncio.start_server(
             self._on_connection, config.host, config.port,
@@ -203,15 +269,17 @@ class ReproServer:
                 *self._connections, return_exceptions=True
             )
             self._connections.clear()
-        if self._batcher is not None:
-            await self._batcher.stop()
-            self._batcher = None
-        if self._pool is not None:
-            pool = self._pool
-            self._pool = None
-            await asyncio.get_running_loop().run_in_executor(
-                None, pool.stop
-            )
+        loop = asyncio.get_running_loop()
+        for runtime in self._runtimes.values():
+            batcher = runtime.batcher
+            runtime.batcher = None
+            if batcher is not None:
+                await batcher.stop()
+            pool = runtime.pool
+            runtime.pool = None
+            if pool is not None:
+                # pool.stop also unlinks the model's shared segment.
+                await loop.run_in_executor(None, pool.stop)
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -223,11 +291,12 @@ class ReproServer:
         interval = self._config.supervisor_interval
         while True:
             await asyncio.sleep(interval)
-            pool = self._pool
-            if pool is not None and not pool.healthy():
-                await asyncio.get_running_loop().run_in_executor(
-                    None, pool.respawn_dead
-                )
+            for runtime in self._runtimes.values():
+                pool = runtime.pool
+                if pool is not None and not pool.healthy():
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, pool.respawn_dead
+                    )
 
     # --- connection handling -------------------------------------------
 
@@ -340,27 +409,61 @@ class ReproServer:
     # --- scoring backend ----------------------------------------------
 
     async def _score_batch(
-        self, passwords: List[str]
+        self, runtime: _ModelRuntime, passwords: List[str]
     ) -> Tuple[int, List[float]]:
-        """Score one micro-batch off the event loop."""
+        """Score one micro-batch for ``runtime`` off the event loop."""
         loop = asyncio.get_running_loop()
-        if self._pool is not None:
+        pool = runtime.pool
+        if pool is not None:
             epoch, scores, worker_seconds = await loop.run_in_executor(
-                None, self._pool.score, list(passwords)
+                None, pool.score, list(passwords)
             )
             self._telemetry.observe(
                 "serve.worker.seconds", worker_seconds
             )
             return epoch, scores
-        meter = self._meter
-        if self._parallel:
+        meter = runtime.meter
+        if runtime.parallel:
             scores = await loop.run_in_executor(
                 None, meter.probability_many, list(passwords)
             )
-            return self.epoch, list(scores)
-        return self.epoch, [meter.probability(pw) for pw in passwords]
+            return runtime.epoch, list(scores)
+        return runtime.epoch, [
+            meter.probability(pw) for pw in passwords
+        ]
 
     # --- handlers ------------------------------------------------------
+
+    def _resolve_model(
+        self,
+        request: Request,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> _ModelRuntime:
+        """The model a request routes to (``model=`` query or body).
+
+        The query string wins over the body field; no parameter at all
+        routes to the default (first-registered) model.
+        """
+        name: Optional[str] = None
+        if request.query:
+            values = parse_qs(request.query).get("model")
+            if values:
+                name = values[-1]
+        if name is None and payload is not None:
+            raw = payload.get("model")
+            if raw is not None:
+                if not isinstance(raw, str):
+                    raise HttpError(400, "'model' must be a JSON string")
+                name = raw
+        if name is None:
+            name = self._default
+        runtime = self._runtimes.get(name)
+        if runtime is None:
+            known = ", ".join(self._runtimes)
+            raise HttpError(
+                400, f"unknown model {name!r}; serving: {known}"
+            )
+        return runtime
 
     @staticmethod
     def _password_field(payload: Dict[str, Any]) -> str:
@@ -378,8 +481,10 @@ class ReproServer:
     async def _check(
         self, request: Request
     ) -> Tuple[int, Dict[str, Any]]:
-        password = self._password_field(request.json())
-        batcher = self._batcher
+        payload = request.json()
+        runtime = self._resolve_model(request, payload)
+        password = self._password_field(payload)
+        batcher = runtime.batcher
         if batcher is None:
             raise HttpError(503, "server is shutting down")
         epoch, probability = await batcher.submit(password)
@@ -388,12 +493,14 @@ class ReproServer:
             "probability": probability,
             "entropy_bits": self._bits(probability),
             "epoch": epoch,
+            "model": runtime.name,
         }
 
     async def _suggest(
         self, request: Request
     ) -> Tuple[int, Dict[str, Any]]:
         payload = request.json()
+        runtime = self._resolve_model(request, payload)
         password = self._password_field(payload)
         target_bits = payload.get("target_bits", 20.0)
         max_suggestions = payload.get("max_suggestions", 5)
@@ -402,7 +509,7 @@ class ReproServer:
         if not isinstance(max_suggestions, int):
             raise HttpError(400, "'max_suggestions' must be an integer")
         call = partial(
-            suggest_stronger, self._meter, password,
+            suggest_stronger, runtime.meter, password,
             target_bits=float(target_bits),
             max_suggestions=max_suggestions,
             rng=random.Random(0),
@@ -415,6 +522,7 @@ class ReproServer:
             raise HttpError(400, str(error))
         return 200, {
             "password": password,
+            "model": runtime.name,
             "target_bits": float(target_bits),
             "suggestions": [
                 {
@@ -477,30 +585,36 @@ class ReproServer:
     async def _accept(
         self, request: Request
     ) -> Tuple[int, Dict[str, Any]]:
-        """Online update + hot reload: the measure→update loop."""
-        if not self._updatable:
-            raise HttpError(405, "meter does not support online update")
+        """Online update + hot reload: the measure→update loop.
+
+        Per-model: only the routed model's meter updates and only its
+        pool swaps segments — sibling models keep serving their epochs
+        untouched.
+        """
         payload = request.json()
+        runtime = self._resolve_model(request, payload)
+        if not runtime.updatable:
+            raise HttpError(405, "meter does not support online update")
         password = self._password_field(payload)
         count = payload.get("count", 1)
         if not isinstance(count, int):
             raise HttpError(400, "'count' must be an integer")
         try:
-            self._meter.update(password, count)
+            runtime.meter.update(password, count)
         except ValueError as error:
             raise HttpError(400, str(error))
         telemetry = self._telemetry
         telemetry.incr("serve.accepts")
-        if self._pool is not None:
+        if runtime.pool is not None:
             # Rebuild + swap before answering: once the client sees
             # this response, sequential requests score the new epoch.
             loop = asyncio.get_running_loop()
             start = _now()
             snapshot = await loop.run_in_executor(
-                None, ServingSnapshot.from_meter, self._meter
+                None, ServingSnapshot.from_meter, runtime.meter
             )
             await loop.run_in_executor(
-                None, self._pool.swap, snapshot
+                None, runtime.pool.swap, snapshot
             )
             telemetry.incr("serve.reloads")
             telemetry.observe("serve.reload.seconds", _now() - start)
@@ -508,7 +622,8 @@ class ReproServer:
             "accepted": True,
             "password": password,
             "count": count,
-            "epoch": self.epoch,
+            "epoch": runtime.epoch,
+            "model": runtime.name,
         }
 
     def _consume_respawn(self, future: "asyncio.Future[int]") -> None:
@@ -518,19 +633,29 @@ class ReproServer:
     async def _healthz(
         self, request: Request
     ) -> Tuple[int, Dict[str, Any]]:
-        pool = self._pool
-        workers = pool.statuses() if pool is not None else []
-        healthy = pool.healthy() if pool is not None else True
-        if pool is not None and not healthy:
-            self._telemetry.incr("serve.health.degraded")
+        healthy = True
+        for runtime in self._runtimes.values():
+            pool = runtime.pool
+            if pool is None or pool.healthy():
+                continue
+            healthy = False
             future = asyncio.get_running_loop().run_in_executor(
                 None, pool.respawn_dead
             )
             future.add_done_callback(self._consume_respawn)
+        if not healthy:
+            self._telemetry.incr("serve.health.degraded")
+        # Top-level epoch/workers stay the default model's (the
+        # single-model shape); per-model detail lives under "models".
+        default = self._runtimes[self._default]
         return (200 if healthy else 503), {
             "status": "healthy" if healthy else "degraded",
-            "epoch": self.epoch,
-            "workers": workers,
+            "epoch": default.epoch,
+            "workers": default.status()["workers"],
+            "models": {
+                runtime.name: runtime.status()
+                for runtime in self._runtimes.values()
+            },
         }
 
     def _latency_summary(self) -> Dict[str, Any]:
@@ -554,8 +679,9 @@ class ReproServer:
     async def _metrics(
         self, request: Request
     ) -> Tuple[int, Dict[str, Any]]:
-        batcher = self._batcher
-        pool = self._pool
+        default = self._runtimes[self._default]
+        batcher = default.batcher
+        pool = default.pool
         return 200, {
             "counters": dict(sorted(self._telemetry.counters().items())),
             "latency": self._latency_summary(),
@@ -568,5 +694,9 @@ class ReproServer:
                 if batcher is not None else None
             ),
             "workers": pool.statuses() if pool is not None else [],
-            "epoch": self.epoch,
+            "epoch": default.epoch,
+            "models": {
+                runtime.name: runtime.status()
+                for runtime in self._runtimes.values()
+            },
         }

@@ -6,10 +6,12 @@ server compiles the meter's state into a :class:`ServingSnapshot` —
 the flat-array :class:`~repro.core.compiled_trie.CompiledTrie`
 matchers plus the :class:`~repro.core.frozen.FrozenGrammar` scoring
 kernel, stamped with the grammar epoch they were taken at.  The
-snapshot is the *only* thing worker processes ever see: it is seeded
-into each worker exactly once (by fork/COW inheritance, or one pickle
-on spawn platforms) and replaced wholesale on hot reload — request
-handling never re-pickles model state.
+snapshot is the *only* thing worker processes ever see, and it
+travels as a *shared-memory segment name*, never a pickle: the pool
+:meth:`ServingSnapshot.publish`-es the flat tables into one POSIX
+segment (DESIGN.md §16) and each worker attaches zero-copy via
+:meth:`ServingSnapshot.from_segment` — identical under fork and spawn
+start methods, replaced wholesale on hot reload.
 
 :class:`SnapshotScorer` is the executable form: a parser rebuilt
 around the compiled matchers (:meth:`FuzzyParser.from_compiled`) plus
@@ -27,15 +29,16 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.core.compiled_trie import CompiledTrie
 from repro.core.frozen import FrozenGrammar
 from repro.core.parser import FuzzyParser
+from repro.core.shm import SharedScoringSegment, _worker_attach_state
 
 
 class ServingSnapshot:
     """Everything a scoring worker needs, frozen at one grammar epoch.
 
     Holds only compiled flat-array state (trie snapshots, the frozen
-    grammar, parser flags), so it pickles cheaply and — under the
-    default fork start method — is shared copy-on-write with every
-    worker seeded from it.
+    grammar, parser flags) — exactly what :meth:`publish` lays out in
+    a shared segment and :meth:`from_segment` reattaches, so every
+    worker scores against the same physical bytes.
     """
 
     __slots__ = (
@@ -85,6 +88,50 @@ class ServingSnapshot:
             flags=parser.flags,
             parse_cache_size=meter.config.parse_cache_size,
             frozen=frozen,
+        )
+
+    def publish(self) -> SharedScoringSegment:
+        """Pack this snapshot into a fresh shared-memory segment.
+
+        The caller (the worker pool) owns the segment and must
+        ``unlink`` it when the epoch is retired; workers attach by
+        name via :meth:`from_segment` in milliseconds, regardless of
+        start method.
+        """
+        return SharedScoringSegment.create(
+            epoch=self.epoch,
+            forward=self.forward,
+            min_length=self.min_length,
+            flags=self.flags,
+            parse_cache_size=self.parse_cache_size,
+            reversed_matcher=self.reversed_matcher,
+            frozen=self.frozen,
+        )
+
+    @classmethod
+    def from_segment(cls, name: str) -> "ServingSnapshot":
+        """Attach the named segment and wrap it as a snapshot.
+
+        Zero-copy: the trie and grammar columns are views into the
+        shared mapping (through the per-process attach cache, so
+        re-attaching the same epoch is free and attaching a new one
+        detaches the old).  Serving segments always carry a grammar;
+        trie-only training segments are rejected.
+        """
+        state = _worker_attach_state(name)
+        if state.frozen is None:
+            raise ValueError(
+                f"segment {name!r} carries no grammar tables "
+                "(trie-only training segment?)"
+            )
+        return cls(
+            epoch=state.epoch,
+            forward=state.forward,
+            reversed_matcher=state.reversed_matcher,
+            min_length=state.min_length,
+            flags=state.flags,
+            parse_cache_size=state.parse_cache_size,
+            frozen=state.frozen,
         )
 
     def build_scorer(self) -> "SnapshotScorer":

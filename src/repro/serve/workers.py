@@ -1,30 +1,33 @@
-"""Warm scoring workers: seeded once, supervised, hot-swappable.
+"""Warm scoring workers: segment-seeded, supervised, hot-swappable.
 
 Each worker is a long-lived ``multiprocessing.Process`` connected to
-the server by one duplex pipe.  The :class:`ServingSnapshot` is handed
-to the worker at spawn time — under the fork start method it arrives
-by copy-on-write inheritance, on spawn platforms as a single pickle —
-and *never again per request*: request traffic carries only password
-lists and score lists.  A hot reload ships the new snapshot down the
-pipe exactly once per worker per epoch; because the pipe is FIFO and
-each worker handles one message at a time, every batch already queued
-ahead of the swap finishes on the old snapshot.
+the server by one duplex pipe.  Workers never receive model state by
+value: the pool publishes its :class:`ServingSnapshot` into one
+shared-memory segment (DESIGN.md §16) and hands each worker the
+segment *name* — attach is a millisecond ``mmap``, identical under
+the fork and spawn start methods (:func:`repro.core.shm.mp_context`),
+and request traffic carries only password lists and score lists.  A
+hot reload publishes the new epoch's segment, ships its name down the
+pipe exactly once per worker, then unlinks the retired segment;
+because the pipe is FIFO and each worker handles one message at a
+time, every batch already queued ahead of the swap finishes on the
+old mapping (which stays valid until the worker reattaches).
 
 Crash handling is the pool's job, not the caller's: a batch sent to a
 worker that died (killed, OOM, segfault) surfaces as a pipe error, the
-pool marks the worker dead, respawns it seeded with the *current*
-snapshot, and redispatches the batch to a surviving worker — falling
+pool marks the worker dead, respawns it attached to the *current*
+segment, and redispatches the batch to a surviving worker — falling
 back to scoring inline in the server process when every worker is down
 — so no request is ever dropped on a worker failure.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.core.shm import SharedScoringSegment, mp_context
 from repro.obs.core import Telemetry, now as _now
 from repro.serve.snapshot import ServingSnapshot, SnapshotScorer
 
@@ -33,30 +36,29 @@ from repro.serve.snapshot import ServingSnapshot, SnapshotScorer
 #: fires for a live-but-stuck process, which is treated like a crash.
 WORKER_REPLY_TIMEOUT = 30.0
 
-try:  # Fork start method: snapshot seeding is COW, not a pickle.
-    _CONTEXT = multiprocessing.get_context("fork")
-except ValueError:  # pragma: no cover - non-fork platforms
-    _CONTEXT = multiprocessing.get_context()
-
 
 class WorkerCrash(RuntimeError):
     """A worker died (or wedged) under a request; the pool retries."""
 
 
-def _serve_worker_main(connection: Any, snapshot: ServingSnapshot) -> None:
+def _serve_worker_main(connection: Any, segment_name: str) -> None:
     """Worker process entrypoint: score batches until told to stop.
 
-    All state lives in locals — the worker writes no module globals
-    (fork-safety rule FPM012), so respawned workers are exact replays.
-    Messages are ``(kind, ...)`` tuples:
+    Scoring state comes from attaching ``segment_name`` (zero-copy,
+    through the per-process attach cache in :mod:`repro.core.shm` —
+    the only module global touched, and one blessed for worker use by
+    fork-safety rule FPM012).  Messages are ``(kind, ...)`` tuples:
 
     * ``("score", [pw, ...])`` → ``("scored", epoch, [p, ...], secs)``;
-    * ``("swap", snapshot)``   → ``("swapped", epoch)`` — rebuilds the
-      scorer; in-flight batches queued earlier already drained;
+    * ``("swap", name)``       → ``("swapped", epoch)`` — attaches the
+      new epoch's segment and rebuilds the scorer; in-flight batches
+      queued earlier already drained on the old mapping;
     * ``("ping",)``            → ``("pong", epoch)``;
     * ``("stop",)``            → ``("stopped",)`` and exit.
     """
-    scorer: SnapshotScorer = snapshot.build_scorer()
+    scorer: SnapshotScorer = (
+        ServingSnapshot.from_segment(segment_name).build_scorer()
+    )
     while True:
         try:
             message = connection.recv()
@@ -70,7 +72,9 @@ def _serve_worker_main(connection: Any, snapshot: ServingSnapshot) -> None:
                 ("scored", scorer.epoch, scores, _now() - start)
             )
         elif kind == "swap":
-            scorer = message[1].build_scorer()
+            scorer = (
+                ServingSnapshot.from_segment(message[1]).build_scorer()
+            )
             connection.send(("swapped", scorer.epoch))
         elif kind == "ping":
             connection.send(("pong", scorer.epoch))
@@ -85,10 +89,12 @@ class _WorkerHandle:
 
     __slots__ = ("process", "connection", "lock", "dead")
 
-    def __init__(self, snapshot: ServingSnapshot) -> None:
-        parent, child = _CONTEXT.Pipe()
-        self.process = _CONTEXT.Process(
-            target=_serve_worker_main, args=(child, snapshot), daemon=True
+    def __init__(self, segment_name: str) -> None:
+        context = mp_context()
+        parent, child = context.Pipe()
+        self.process = context.Process(
+            target=_serve_worker_main, args=(child, segment_name),
+            daemon=True,
         )
         self.process.start()
         child.close()
@@ -150,9 +156,12 @@ class WorkerPool:
     """A fixed-size pool of warm workers with supervised respawn.
 
     All methods are blocking (the async server calls them through an
-    executor).  The pool always tracks one *current* snapshot: spawns
-    and respawns seed from it, :meth:`swap` replaces it and broadcasts
-    the replacement to the live workers.
+    executor).  The pool owns one *current* shared segment (published
+    from the snapshot it was built or last swapped with): spawns and
+    respawns attach to it by name, :meth:`swap` publishes the new
+    epoch's segment, broadcasts its name to the live workers and
+    unlinks the retired one.  :meth:`stop` unlinks the current
+    segment, so a stopped pool leaves nothing in ``/dev/shm``.
     """
 
     def __init__(
@@ -164,9 +173,10 @@ class WorkerPool:
         if size < 1:
             raise ValueError(f"worker pool size must be >= 1, got {size}")
         self._snapshot = snapshot
+        self._segment: SharedScoringSegment = snapshot.publish()
         self._telemetry = telemetry if telemetry is not None else obs.get()
         self._handles: List[_WorkerHandle] = [
-            _WorkerHandle(snapshot) for _ in range(size)
+            _WorkerHandle(self._segment.name) for _ in range(size)
         ]
         self._round_robin = 0
         self._respawn_lock = threading.Lock()
@@ -182,6 +192,11 @@ class WorkerPool:
     def epoch(self) -> int:
         """Epoch of the snapshot workers are (being) seeded with."""
         return self._snapshot.epoch
+
+    @property
+    def segment_name(self) -> str:
+        """Name of the current shared segment (for tests/operators)."""
+        return self._segment.name
 
     def statuses(self) -> List[Dict[str, Any]]:
         """Liveness of every worker, for ``/healthz``."""
@@ -253,7 +268,7 @@ class WorkerPool:
                 if handle.alive():
                     continue
                 handle.stop()
-                self._handles[index] = _WorkerHandle(self._snapshot)
+                self._handles[index] = _WorkerHandle(self._segment.name)
                 replaced += 1
             if replaced:
                 self._telemetry.incr("serve.worker.respawns", replaced)
@@ -262,19 +277,26 @@ class WorkerPool:
     def swap(self, snapshot: ServingSnapshot) -> None:
         """Atomically adopt ``snapshot`` and broadcast it to workers.
 
-        The pool snapshot is replaced first, so any respawn from here
-        on seeds the new epoch; each live worker then receives the
-        snapshot once.  Workers that die during the broadcast are
-        respawned — already seeded with the new snapshot.
+        The new epoch's segment is published and adopted first, so any
+        respawn from here on attaches the new epoch; each live worker
+        then receives the segment name once.  Workers that die during
+        the broadcast are respawned — already attached to the new
+        segment.  The retired segment is unlinked last: mappings in
+        workers still draining queued batches stay valid, only the
+        name disappears.
         """
+        retired = self._segment
+        self._segment = snapshot.publish()
         self._snapshot = snapshot
         for handle in list(self._handles):
             try:
-                handle.request(("swap", snapshot))
+                handle.request(("swap", self._segment.name))
             except WorkerCrash:
                 self._telemetry.incr("serve.worker.crashes")
                 self.respawn_dead()
+        retired.unlink()
 
     def stop(self) -> None:
         for handle in self._handles:
             handle.stop()
+        self._segment.unlink()

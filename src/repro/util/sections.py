@@ -1,0 +1,214 @@
+"""The section-directory codec shared by binary models and shm snapshots.
+
+One layout, two consumers.  The FPSMBIN1 binary model format
+(:mod:`repro.persistence`) and the zero-copy shared-memory snapshot
+plane (:mod:`repro.core.shm`) both need the same thing: a handful of
+flat columns — ``int64`` count tables, ``float64`` probability tables,
+UTF-8 string blobs, raw byte flags — packed one after another behind a
+self-describing directory, such that a reader can ``memoryview.cast``
+the numeric columns straight out of the mapping without copying.  This
+module is that layout, factored out of ``persistence.py`` so the shm
+plane reuses it instead of inventing a second framing::
+
+    magic | uint64 header length | header JSON | pad
+    | section payloads (each 8-byte aligned)
+
+The header is a sorted-keys JSON object carrying caller-supplied
+fields (format versions, meter metadata, …) plus the ``sections``
+directory: for every section its ``name``, ``dtype``, absolute
+``offset``, byte ``length`` and element ``count``.  Packing is
+deterministic — same fields and sections, same bytes — which both
+consumers rely on (artefact diffing for model files, epoch-keyed reuse
+for segments).
+
+Supported dtypes:
+
+=========  ======================  =============================
+dtype      packed from             unpacked to
+=========  ======================  =============================
+``i64``    ``array('q')``          zero-copy ``memoryview('q')``
+``f64``    ``array('d')``          zero-copy ``memoryview('d')``
+``utf8``   ``str``                 ``str``
+``bytes``  ``bytes``/``bytearray`` zero-copy ``memoryview('B')``
+           /``memoryview``         (or ``bytes`` with ``copy=True``)
+=========  ======================  =============================
+
+Foreign-endian input (a model file moved between hosts) falls back to
+a byteswapped copy for the numeric dtypes; shared-memory segments
+never cross hosts, so their unpack path is always the zero-copy cast.
+
+All structural failures raise :class:`SectionError` (a ``ValueError``)
+with the reason only; callers wrap it with their own context (file
+path, segment name).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from array import array
+from typing import Any, Dict, List, Mapping, Tuple
+
+#: Payload sections are padded to this alignment so ``int64``/``float64``
+#: columns can be cast straight out of the mapping.
+ALIGN = 8
+
+#: ``array`` typecode per numeric dtype tag.
+_NUMERIC_TYPECODES = {"i64": "q", "f64": "d"}
+
+
+class SectionError(ValueError):
+    """A packed section layout is structurally invalid."""
+
+
+def encode_section(value: Any) -> Tuple[str, bytes, int]:
+    """``(dtype, payload, count)`` for one section value."""
+    if isinstance(value, array):
+        if value.typecode == "q":
+            return "i64", value.tobytes(), len(value)
+        if value.typecode == "d":
+            return "f64", value.tobytes(), len(value)
+        raise TypeError(
+            f"binary sections must be array('q') or array('d'), got "
+            f"array({value.typecode!r})"
+        )
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return "utf8", payload, len(payload)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        payload = bytes(value)
+        return "bytes", payload, len(payload)
+    raise TypeError(
+        f"binary sections must be array('q'), array('d'), str or "
+        f"bytes, got {type(value).__name__}"
+    )
+
+
+def pack(
+    magic: bytes,
+    header_fields: Mapping[str, Any],
+    sections: Mapping[str, Any],
+) -> bytes:
+    """Render the full ``magic | header | aligned payloads`` image.
+
+    ``header_fields`` is merged into the header object verbatim (it
+    must be JSON-serialisable and must not contain a ``sections`` key);
+    ``byteorder`` is stamped by the caller when it matters (model
+    files) and omitted when it does not (same-host segments).
+    """
+    if "sections" in header_fields:
+        raise ValueError("'sections' is a reserved header field")
+    encoded = [
+        (name, *encode_section(value))
+        for name, value in sections.items()
+    ]
+
+    def _render_header(offsets: List[int]) -> bytes:
+        header = dict(header_fields)
+        header["sections"] = [
+            {
+                "name": name,
+                "dtype": dtype,
+                "offset": offset,
+                "length": len(payload),
+                "count": count,
+            }
+            for (name, dtype, payload, count), offset in zip(
+                encoded, offsets
+            )
+        ]
+        return json.dumps(header, sort_keys=True).encode("utf-8")
+
+    # Header length depends on the offsets and vice versa; iterate to
+    # a fixed point (two passes suffice — offsets only grow when the
+    # header grows, and digit-count growth converges immediately).
+    offsets = [0] * len(encoded)
+    for _ in range(4):
+        header_bytes = _render_header(offsets)
+        base = len(magic) + 8 + len(header_bytes)
+        base += (-base) % ALIGN
+        new_offsets = []
+        position = base
+        for _name, _dtype, payload, _count in encoded:
+            new_offsets.append(position)
+            position += len(payload)
+            position += (-position) % ALIGN
+        if new_offsets == offsets:
+            break
+        offsets = new_offsets
+    header_bytes = _render_header(offsets)
+    pieces = [magic, len(header_bytes).to_bytes(8, "little"), header_bytes]
+    position = len(magic) + 8 + len(header_bytes)
+    for (_name, _dtype, payload, _count), offset in zip(encoded, offsets):
+        pieces.append(b"\0" * (offset - position))
+        pieces.append(payload)
+        position = offset + len(payload)
+    return b"".join(pieces)
+
+
+def read_header(view: memoryview, magic: bytes) -> Dict[str, Any]:
+    """Validate the framing and parse the header object of ``view``."""
+    prefix = len(magic) + 8
+    if len(view) < prefix:
+        raise SectionError("truncated before header")
+    if bytes(view[: len(magic)]) != magic:
+        raise SectionError(f"bad magic (expected {magic!r})")
+    header_length = int.from_bytes(view[len(magic):prefix], "little")
+    if len(view) < prefix + header_length:
+        raise SectionError("truncated inside header")
+    try:
+        header = json.loads(
+            bytes(view[prefix:prefix + header_length]).decode("utf-8")
+        )
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SectionError(f"corrupt header: {error}") from error
+    if not isinstance(header, dict):
+        raise SectionError("header must be a JSON object")
+    return header
+
+
+def decode_sections(
+    header: Mapping[str, Any],
+    view: memoryview,
+    copy: bool = False,
+) -> Dict[str, Any]:
+    """Materialise every directory entry of ``header`` out of ``view``.
+
+    Numeric columns come back as zero-copy casts of the underlying
+    buffer unless the recorded ``byteorder`` disagrees with this host
+    (then a byteswapped ``array`` copy) or ``copy=True`` is passed
+    (then plain ``array`` copies, for callers about to release the
+    buffer).  ``bytes`` sections are zero-copy ``memoryview('B')``
+    slices under the same rule.
+    """
+    swap = header.get("byteorder", sys.byteorder) != sys.byteorder
+    sections: Dict[str, Any] = {}
+    for entry in header.get("sections", []):
+        name = entry["name"]
+        offset = entry["offset"]
+        length = entry["length"]
+        if offset + length > len(view):
+            raise SectionError(f"truncated section {name!r}")
+        raw = view[offset:offset + length]
+        dtype = entry["dtype"]
+        typecode = _NUMERIC_TYPECODES.get(dtype)
+        if typecode is not None:
+            if length % 8:
+                raise SectionError(
+                    f"misaligned {dtype} section {name!r}"
+                )
+            if swap or copy:
+                column = array(typecode)
+                column.frombytes(raw)
+                if swap:
+                    column.byteswap()
+                sections[name] = column
+            else:
+                sections[name] = raw.cast(typecode)
+        elif dtype == "utf8":
+            sections[name] = bytes(raw).decode("utf-8")
+        elif dtype == "bytes":
+            sections[name] = bytes(raw) if copy else raw
+        else:
+            raise SectionError(f"unknown section dtype {dtype!r}")
+    return sections

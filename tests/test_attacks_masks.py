@@ -25,8 +25,11 @@ from repro.attacks.masks import (
     compile_rules,
     crossover_report,
     decade_checkpoints,
+    export_hashcat,
     mask_keyspace,
     mask_of,
+    read_hcmask,
+    read_rules,
 )
 from repro.core import FuzzyPSM
 from repro.core.meter import FuzzyPSMConfig
@@ -245,6 +248,65 @@ class TestPersistence:
         ))
         with pytest.raises(ValueError, match="must be an object"):
             load_mask_set(str(bodyless))
+
+
+class TestHashcatExport:
+    def build(self):
+        return MaskSet(
+            [
+                MaskEntry("?d?d", 100, 0.3, 7),
+                MaskEntry("?l?l?l", 26**3, 0.6, 2),
+                MaskEntry("?u?s", 26 * 33, 0.1, 1),
+            ],
+            policy="mass",
+            source_guesses=10,
+            rules=(
+                RuleEntry(":", "keep the word as-is", 0.8),
+                RuleEntry("sa@", "substitute a -> @", 0.2),
+            ),
+            source="fuzzyPSM",
+        )
+
+    def test_round_trip_against_the_json_envelope(self, tmp_path):
+        original = self.build()
+        directory = str(tmp_path / "hc")
+        written = export_hashcat(original, directory)
+        envelope = str(tmp_path / "masks.json")
+        save_mask_set(original, envelope)
+        restored = load_mask_set(envelope)
+        assert read_hcmask(written["hcmask"]) == [
+            entry.mask for entry in restored.entries
+        ]
+        assert read_rules(written["rule"]) == [
+            rule.rule for rule in restored.rules
+        ]
+
+    def test_stem_defaults_to_source(self, tmp_path):
+        written = export_hashcat(self.build(), str(tmp_path))
+        assert written["hcmask"].endswith("fuzzyPSM.hcmask")
+        assert written["rule"].endswith("fuzzyPSM.rule")
+        named = export_hashcat(self.build(), str(tmp_path), stem="x")
+        assert named["hcmask"].endswith("x.hcmask")
+
+    def test_ruleless_set_writes_no_rule_file(self, tmp_path):
+        mask_set = MaskSet(
+            [MaskEntry("?d?d", 100, 0.5, 3)],
+            policy="mass", source_guesses=3,
+        )
+        written = export_hashcat(mask_set, str(tmp_path))
+        assert set(written) == {"hcmask"}
+        assert read_hcmask(written["hcmask"]) == ["?d?d"]
+
+    def test_comments_and_blanks_are_skipped(self, tmp_path):
+        path = tmp_path / "hand.hcmask"
+        path.write_text("# banner\n\n?l?d\n# note\n?u?u\n")
+        assert read_hcmask(str(path)) == ["?l?d", "?u?u"]
+
+    def test_corrupt_mask_file_fails_on_read(self, tmp_path):
+        path = tmp_path / "bad.hcmask"
+        path.write_text("?l?x\n")
+        with pytest.raises(ValueError, match="unknown mask token"):
+            read_hcmask(str(path))
 
 
 class TestCompileRules:

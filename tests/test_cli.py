@@ -255,6 +255,35 @@ class TestCoachAttackProfile:
         assert mask_set.entries
         assert mask_set.policy == "efficiency"
 
+    def test_attack_masks_export(self, capsys, trained_model, tmp_path):
+        model, _ = trained_model
+        mask_file = str(tmp_path / "masks.json")
+        export_dir = str(tmp_path / "hashcat")
+        code, out, _ = run_cli(
+            capsys, "attack", "masks", "--model", model,
+            "--source-guesses", "500",
+            "--output", mask_file, "--export", export_dir,
+        )
+        assert code == 0
+        assert "hashcat hcmask ->" in out
+        from repro.attacks import read_hcmask, read_rules
+        from repro.persistence import load_mask_set
+        mask_set = load_mask_set(mask_file)
+        import os as os_module
+        files = sorted(os_module.listdir(export_dir))
+        hcmask = [f for f in files if f.endswith(".hcmask")]
+        assert hcmask, files
+        masks = read_hcmask(
+            os_module.path.join(export_dir, hcmask[0])
+        )
+        assert masks == [entry.mask for entry in mask_set.entries]
+        rule_files = [f for f in files if f.endswith(".rule")]
+        if mask_set.rules:
+            rules = read_rules(
+                os_module.path.join(export_dir, rule_files[0])
+            )
+            assert rules == [r.rule for r in mask_set.rules]
+
     def test_attack_crossover(self, capsys, trained_model, tmp_path):
         model, training = trained_model
         baseline = str(tmp_path / "pcfg.json")
@@ -294,3 +323,37 @@ class TestParser:
     def test_unknown_dataset_exits(self):
         with pytest.raises(SystemExit):
             main(["generate", "linkedin", "--output", "x.txt"])
+
+
+class TestServeModelSpecs:
+    """``repro serve --model [NAME=]PATH`` spec parsing and validation."""
+
+    def test_named_and_bare_specs(self):
+        from repro.cli import _parse_model_spec
+
+        assert _parse_model_spec("rockyou=/tmp/a.json") == \
+            ("rockyou", "/tmp/a.json")
+        assert _parse_model_spec("/models/yahoo.json") == \
+            ("yahoo", "/models/yahoo.json")
+        assert _parse_model_spec("model.bin") == ("model", "model.bin")
+        # '=' inside a path (no name before it) stays a bare path.
+        assert _parse_model_spec("=x.json")[1] == "=x.json"
+        # A path-looking prefix is not a name.
+        assert _parse_model_spec("/a/b=c.json") == \
+            ("b=c", "/a/b=c.json")
+
+    def test_invalid_model_name_exits_2(self, capsys, tmp_path):
+        from repro.core.meter import FuzzyPSM
+        from repro.persistence import save_meter
+        from tests.conftest import BASE_DICTIONARY, TRAINING_PASSWORDS
+
+        path = str(tmp_path / "bad name.json")
+        save_meter(
+            FuzzyPSM.train(BASE_DICTIONARY, TRAINING_PASSWORDS), path
+        )
+        # The bare path's stem ("bad name") is not a valid model name.
+        code, _, err = run_cli(
+            capsys, "serve", "--model", path, "--port", "0",
+        )
+        assert code == 2
+        assert "bad name" in err

@@ -151,6 +151,35 @@ class TestParallelScoring:
         assert counters["meter.parallel.distinct"] == \
             len(set(FIXED_STREAM))
 
+    def test_small_distinct_jobs2_is_not_catastrophic(self):
+        """Regression: jobs=2 at small distinct counts stays sane.
+
+        Before the snapshot plane (DESIGN.md §16) every pool start-up
+        pickled the compiled matchers and frozen grammar into each
+        worker, so small batches under ``jobs=2`` could lose to serial
+        by orders of magnitude — which is why the old parallel cutoff
+        sat at 50k distinct.  Workers now attach to a named shared
+        segment, so even a forced-parallel small batch must stay
+        within a (generous, absolute) budget of the serial run: the
+        bound catches a return of the broadcast tax, not scheduler
+        jitter.
+        """
+        from repro.obs.core import now
+
+        stream = [f"pw{i}x!" for i in range(2_100)]  # just above cutoff
+        _METER.probability_many(stream[:1])  # warm caches/snapshot
+        start = now()
+        serial = _METER.probability_many(stream)
+        serial_seconds = now() - start
+        start = now()
+        parallel = _METER.probability_many(stream, jobs=2)
+        parallel_seconds = now() - start
+        assert parallel == serial
+        assert parallel_seconds <= max(2.0, serial_seconds * 25), (
+            f"jobs=2 took {parallel_seconds:.3f}s vs serial "
+            f"{serial_seconds:.3f}s on {len(stream)} distinct"
+        )
+
     @given(batch=st.lists(PASSWORDS, max_size=20))
     @DETERMINISTIC
     def test_serial_batch_uses_frozen_kernel_correctly(self, batch):
@@ -168,16 +197,10 @@ class TestWorkerFunctions:
         meter_module._SCORE_FROZEN = None
 
     def _init_worker(self, meter):
-        forward, reversed_matcher = \
-            meter.parser.ensure_compiled_matchers()
-        meter_module._score_worker_init(
-            forward,
-            reversed_matcher,
-            meter.trie.min_length,
-            meter.parser.flags,
-            meter.config.parse_cache_size,
-            meter.frozen_grammar(),
-        )
+        # The worker initializer only ever sees a segment *name*; the
+        # in-process call exercises the same attach + materialize path
+        # a pool worker runs (via the shm attach cache).
+        meter_module._worker_init_shared(meter.shared_segment().name)
 
     def test_chunk_scores_match_the_meter(self):
         self._init_worker(_METER)
